@@ -1,0 +1,66 @@
+"""Ablation on the ABICM quantisation granularity.
+
+The paper's adaptive coder exposes four throughput classes.  How much of
+RICA's advantage survives if the physical layer only offered two rates
+(good/bad)?  This probes the design choice of the class table itself.
+"""
+
+from repro.analysis.tables import format_table
+from repro.channel.abicm import AbicmScheme
+from repro.channel.csi import ChannelClass
+from repro.channel.model import ChannelConfig
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+
+BASE = dict(
+    n_nodes=30,
+    n_flows=6,
+    duration_s=10.0,
+    field_size_m=800.0,
+    mean_speed_kmh=36.0,
+    seed=5,
+)
+
+#: Two-rate physical layer: the top two classes decode at 250 kbps, the
+#: bottom two at 50 kbps (still monotone, same extremes).
+COARSE_ABICM = AbicmScheme(
+    throughput_bps={
+        ChannelClass.A: 250_000.0,
+        ChannelClass.B: 250_000.0,
+        ChannelClass.C: 50_000.0,
+        ChannelClass.D: 50_000.0,
+    }
+)
+
+
+def test_quantisation_granularity(benchmark):
+    def compare():
+        results = {}
+        for label, abicm in (("4-class", AbicmScheme()), ("2-class", COARSE_ABICM)):
+            for protocol in ("rica", "aodv"):
+                config = ScenarioConfig(
+                    protocol=protocol,
+                    channel=ChannelConfig(abicm=abicm),
+                    **BASE,
+                )
+                results[label, protocol] = run_scenario(config)
+        return results
+
+    results = benchmark.pedantic(compare, rounds=1, iterations=1)
+    rows = [
+        [label, protocol, r.avg_link_throughput_kbps, r.delivery_pct, r.avg_delay_ms]
+        for (label, protocol), r in sorted(results.items())
+    ]
+    print()
+    print(
+        format_table(
+            ["abicm", "protocol", "link_kbps", "delivery_%", "delay_ms"],
+            rows,
+            title="ABICM quantisation ablation (RICA vs AODV)",
+        )
+    )
+    # The adaptive protocol keeps a link-quality edge under both tables.
+    for label in ("4-class", "2-class"):
+        assert (
+            results[label, "rica"].avg_link_throughput_kbps
+            >= results[label, "aodv"].avg_link_throughput_kbps * 0.95
+        )

@@ -1,0 +1,33 @@
+"""Figure 3 — successful packet delivery percentage vs mean mobile speed.
+
+Paper shape: channel-adaptive protocols deliver the most; delivery falls
+with mobility for every protocol; the link-state protocol collapses the
+fastest (routing loops consume buffers).
+"""
+
+
+def _assert_fig3_shape(result):
+    speeds = result.speeds_kmh
+    hi = speeds[-1]
+    # Channel-adaptive protocols top the channel-oblivious ones at speed.
+    adaptive = max(result.value("rica", hi), result.value("bgca", hi))
+    assert adaptive > result.value("aodv", hi), (
+        f"expected RICA/BGCA delivery above AODV at {hi} km/h"
+    )
+    # Link state loses more delivery with mobility than RICA does.
+    ls_drop = result.value("link_state", speeds[0]) - result.value("link_state", hi)
+    rica_drop = result.value("rica", speeds[0]) - result.value("rica", hi)
+    assert ls_drop > rica_drop - 5.0, (
+        f"expected link-state delivery to degrade faster: "
+        f"ls_drop={ls_drop:.1f} rica_drop={rica_drop:.1f}"
+    )
+
+
+def test_fig3a_delivery_10pps(figure_runner):
+    result = figure_runner("fig3a")
+    _assert_fig3_shape(result)
+
+
+def test_fig3b_delivery_20pps(figure_runner):
+    result = figure_runner("fig3b")
+    _assert_fig3_shape(result)

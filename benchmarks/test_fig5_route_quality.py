@@ -1,0 +1,27 @@
+"""Figure 5 — route quality at 72 km/h: average link throughput (a) and
+average hop count (b).
+
+Paper shape: (a) link state picks the highest-throughput links (Dijkstra
+over CSI costs), RICA and BGCA sit well above the channel-oblivious ABR
+and AODV; (b) link state traverses the most hops (routing loops), RICA
+the fewest.
+"""
+
+
+def test_fig5a_link_throughput(figure_runner):
+    result = figure_runner("fig5a")
+    value = {p: result.value(p) for p in result.spec.protocols}
+    # Channel-adaptive routing picks faster links than channel-oblivious.
+    assert min(value["rica"], value["bgca"]) > min(value["abr"], value["aodv"]), value
+    # Link state (Dijkstra over CSI costs) is at or near the top.
+    assert value["link_state"] >= 0.9 * max(value.values()), value
+
+
+def test_fig5b_hop_count(figure_runner):
+    result = figure_runner("fig5b")
+    value = {p: result.value(p) for p in result.spec.protocols}
+    # Link-state loops traverse the most hops.
+    on_demand_max = max(value["rica"], value["bgca"], value["abr"], value["aodv"])
+    assert value["link_state"] >= 0.85 * on_demand_max, value
+    # All hop counts are physically sensible.
+    assert all(1.0 <= v <= 20.0 for v in value.values()), value

@@ -1,0 +1,26 @@
+"""Figure 6 — aggregate network throughput over time (4 s bins).
+
+Paper shape: BGCA and RICA sit on top of the aggregate-throughput traces
+at both 20 and 60 packets/s.
+"""
+
+from repro.analysis.stats import mean
+
+
+def _assert_fig6_shape(result):
+    averages = {p: mean(result.series(p)) for p in result.spec.protocols}
+    adaptive = max(averages["rica"], averages["bgca"])
+    for proto in ("abr", "aodv"):
+        assert adaptive > 0.9 * averages[proto], (
+            f"expected RICA/BGCA aggregate throughput at the top: {averages}"
+        )
+
+
+def test_fig6a_throughput_20pps(figure_runner):
+    result = figure_runner("fig6a")
+    _assert_fig6_shape(result)
+
+
+def test_fig6b_throughput_60pps(figure_runner):
+    result = figure_runner("fig6b")
+    _assert_fig6_shape(result)

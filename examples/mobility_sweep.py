@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Figures 2 and 3 in miniature: sweep the mean terminal speed and compare
+the channel-adaptive RICA against the channel-oblivious AODV on delay and
+delivery.
+
+Usage::
+
+    python examples/mobility_sweep.py [--duration 15]
+"""
+
+import argparse
+
+from repro import ScenarioConfig, run_speed_sweep
+from repro.analysis.tables import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=15.0)
+    parser.add_argument("--trials", type=int, default=1)
+    args = parser.parse_args()
+
+    speeds = [0.0, 18.0, 36.0, 54.0, 72.0]
+    base = ScenarioConfig(duration_s=args.duration, rate_pps=10.0, seed=5)
+    results = run_speed_sweep(base, ["rica", "aodv"], speeds, trials=args.trials)
+
+    rows = []
+    for i, speed in enumerate(speeds):
+        rica = results["rica"][i]
+        aodv = results["aodv"][i]
+        rows.append(
+            [
+                speed,
+                rica.avg_delay_ms,
+                aodv.avg_delay_ms,
+                rica.delivery_pct,
+                aodv.delivery_pct,
+            ]
+        )
+    print(
+        format_table(
+            ["speed_kmh", "rica_delay_ms", "aodv_delay_ms", "rica_deliv_%", "aodv_deliv_%"],
+            rows,
+            title="Channel-adaptive vs channel-oblivious routing across mobility",
+        )
+    )
+    print(
+        "\nPaper shape: RICA holds lower delay and higher delivery at every "
+        "speed;\nthe gap is the value of adapting routes to channel state."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""The paper's core experiment in miniature: all five protocols, low and
+high mobility, all five metrics side by side.
+
+Usage::
+
+    python examples/protocol_shootout.py [--duration 20] [--trials 1]
+"""
+
+import argparse
+
+from repro import ScenarioConfig, run_trials
+from repro.analysis.tables import format_table
+from repro.routing.registry import available_protocols
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=20.0)
+    parser.add_argument("--trials", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    base = ScenarioConfig(duration_s=args.duration, rate_pps=10.0, seed=args.seed)
+    for speed in (0.0, 72.0):
+        rows = []
+        for protocol in available_protocols():
+            agg = run_trials(
+                base.with_(protocol=protocol, mean_speed_kmh=speed), args.trials
+            )
+            rows.append(
+                [
+                    protocol,
+                    agg.avg_delay_ms,
+                    agg.delivery_pct,
+                    agg.overhead_kbps,
+                    agg.avg_link_throughput_kbps,
+                    agg.avg_hops,
+                ]
+            )
+        print(
+            format_table(
+                ["protocol", "delay_ms", "delivery_%", "overhead_kbps", "link_kbps", "hops"],
+                rows,
+                title=f"\n=== mean speed {speed:.0f} km/h, 10 pkt/s, "
+                f"{args.duration:.0f}s x {args.trials} trial(s) ===",
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Collect the measured data behind EXPERIMENTS.md.
+
+Runs the speed sweeps at both paper loads plus the Figure 6 time-series
+runs, and dumps everything to JSON.  One sweep yields delay, delivery and
+overhead simultaneously (Figures 2, 3 and 4 share runs), and the 72 km/h
+points double as Figure 5.
+
+Usage::
+
+    python scripts/collect_results.py [--duration 30] [--trials 2] [--out results.json]
+"""
+
+import argparse
+import json
+import time
+
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.sweep import run_speed_sweep, run_trials
+from repro.routing.registry import available_protocols
+
+SPEEDS = [0.0, 18.0, 36.0, 54.0, 72.0]
+
+
+def agg_to_dict(agg):
+    return {
+        "delay_ms": round(agg.avg_delay_ms, 1),
+        "delivery_pct": round(agg.delivery_pct, 1),
+        "overhead_kbps": round(agg.overhead_kbps, 1),
+        "link_kbps": round(agg.avg_link_throughput_kbps, 1),
+        "hops": round(agg.avg_hops, 2),
+        "series_kbps": [round(v, 1) for v in agg.throughput_series_kbps],
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--duration", type=float, default=30.0)
+    parser.add_argument("--trials", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default="results.json")
+    args = parser.parse_args()
+
+    t0 = time.time()
+    results = {
+        "duration_s": args.duration,
+        "trials": args.trials,
+        "speeds_kmh": SPEEDS,
+        "sweeps": {},
+        "fig6": {},
+    }
+    for rate in (10.0, 20.0):
+        base = ScenarioConfig(duration_s=args.duration, rate_pps=rate, seed=args.seed)
+        sweep = run_speed_sweep(base, available_protocols(), SPEEDS, trials=args.trials)
+        results["sweeps"][str(int(rate))] = {
+            proto: [agg_to_dict(agg) for agg in aggs] for proto, aggs in sweep.items()
+        }
+        print(f"[{time.time()-t0:6.0f}s] sweep at {rate:.0f} pkt/s done", flush=True)
+
+    for rate in (20.0, 60.0):
+        base = ScenarioConfig(
+            duration_s=args.duration, rate_pps=rate, mean_speed_kmh=36.0, seed=args.seed
+        )
+        results["fig6"][str(int(rate))] = {
+            proto: agg_to_dict(run_trials(base.with_(protocol=proto), args.trials))
+            for proto in available_protocols()
+        }
+        print(f"[{time.time()-t0:6.0f}s] fig6 at {rate:.0f} pkt/s done", flush=True)
+
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=1)
+    print(f"[{time.time()-t0:6.0f}s] wrote {args.out}", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Statistical aggregation across trials and ASCII table/series rendering."""
+
+from repro.analysis.stats import (
+    AggregateMetrics,
+    aggregate_reports,
+    mean,
+    std,
+    sem,
+    confidence_interval_95,
+)
+from repro.analysis.tables import format_table, format_series
+from repro.analysis.plot import line_plot, bar_chart
+from repro.analysis.shapes import (
+    ShapeCheck,
+    crossover_point,
+    evaluate_checks,
+    is_decreasing,
+    is_increasing,
+    ordering_holds,
+    trend_slope,
+)
+
+__all__ = [
+    "AggregateMetrics",
+    "aggregate_reports",
+    "mean",
+    "std",
+    "sem",
+    "confidence_interval_95",
+    "format_table",
+    "format_series",
+    "line_plot",
+    "bar_chart",
+    "ShapeCheck",
+    "crossover_point",
+    "evaluate_checks",
+    "is_decreasing",
+    "is_increasing",
+    "ordering_holds",
+    "trend_slope",
+]

@@ -1,0 +1,112 @@
+"""Dependency-free ASCII plots for terminal figure rendering.
+
+The paper's figures are line charts (metric vs speed, throughput vs time)
+and bar charts (route quality).  These renderers draw them in a terminal,
+so ``python -m repro figure fig2a --plot`` shows the curve shapes without
+matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["line_plot", "bar_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_plot(
+    series: Dict[str, Sequence[float]],
+    xs: Sequence[float],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more series as an ASCII line chart.
+
+    Args:
+        series: label -> y values (all same length as ``xs``).
+        xs: shared x coordinates.
+        width/height: plot area size in characters.
+        title: optional heading line.
+        y_label: y-axis caption appended to the legend.
+    """
+    if not series:
+        raise ConfigurationError("line_plot needs at least one series")
+    for label, ys in series.items():
+        if len(ys) != len(xs):
+            raise ConfigurationError(f"series {label!r} length != xs length")
+    if len(xs) < 2:
+        raise ConfigurationError("line_plot needs at least two x points")
+
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float):
+        col = int((x - x_min) / (x_max - x_min) * (width - 1))
+        row = int((y - y_min) / (y_max - y_min) * (height - 1))
+        return height - 1 - row, col
+
+    for idx, (label, ys) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        # Interpolate between data points for a connected look.
+        for i in range(len(xs) - 1):
+            steps = max(
+                2,
+                abs(cell(xs[i + 1], ys[i + 1])[1] - cell(xs[i], ys[i])[1]) + 1,
+            )
+            for s in range(steps + 1):
+                frac = s / steps
+                x = xs[i] + (xs[i + 1] - xs[i]) * frac
+                y = ys[i] + (ys[i + 1] - ys[i]) * frac
+                row, col = cell(x, y)
+                grid[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_max:9.1f} |"
+        elif i == height - 1:
+            label = f"{y_min:9.1f} |"
+        else:
+            label = " " * 9 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(" " * 10 + f"{x_min:<10.1f}" + " " * max(0, width - 20) + f"{x_max:>10.1f}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}" for i, label in enumerate(series)
+    )
+    lines.append(f"legend: {legend}" + (f"   (y: {y_label})" if y_label else ""))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render labelled horizontal bars."""
+    if not values:
+        raise ConfigurationError("bar_chart needs at least one value")
+    peak = max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(k) for k in values)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        bar = "#" * max(1, int(value / peak * width)) if value > 0 else ""
+        lines.append(f"{label.rjust(label_width)} | {bar} {value:.1f}{unit}")
+    return "\n".join(lines)

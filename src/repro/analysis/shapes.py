@@ -1,0 +1,117 @@
+"""Shape checks: codified qualitative claims about experiment results.
+
+The paper's conclusions are *orderings and trends* ("RICA outperforms...",
+"delay increases with the mobile speed", "ABR outperforms AODV in low
+mobility but AODV outperforms ABR in high mobility").  This module turns
+those sentences into checkable predicates used by the benchmark harness
+and recorded in EXPERIMENTS.md, so "the shape holds" is a computation, not
+an eyeball judgement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ordering_holds",
+    "trend_slope",
+    "is_increasing",
+    "is_decreasing",
+    "crossover_point",
+    "ratio",
+    "ShapeCheck",
+    "evaluate_checks",
+]
+
+
+def ordering_holds(
+    values: Dict[str, float], ordering: Sequence[str], tolerance: float = 0.0
+) -> bool:
+    """True if ``values`` respects ``ordering`` from smallest to largest.
+
+    ``tolerance`` is a fraction: adjacent pairs may violate the order by up
+    to ``tolerance * larger_value`` (orderings between near-equal protocols
+    are noisy at benchmark scale).
+    """
+    for smaller, larger in zip(ordering, ordering[1:]):
+        a, b = values[smaller], values[larger]
+        if a > b + tolerance * max(abs(a), abs(b)):
+            return False
+    return True
+
+
+def trend_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``ys`` over ``xs``."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ConfigurationError("trend_slope needs two same-length series")
+    n = len(xs)
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    denom = sum((x - mx) ** 2 for x in xs)
+    if denom == 0:
+        return 0.0
+    return sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / denom
+
+
+def is_increasing(xs: Sequence[float], ys: Sequence[float], min_slope: float = 0.0) -> bool:
+    """True if the least-squares trend of the series rises."""
+    return trend_slope(xs, ys) > min_slope
+
+
+def is_decreasing(xs: Sequence[float], ys: Sequence[float], max_slope: float = 0.0) -> bool:
+    """True if the least-squares trend of the series falls."""
+    return trend_slope(xs, ys) < max_slope
+
+
+def crossover_point(
+    xs: Sequence[float], a: Sequence[float], b: Sequence[float]
+) -> float:
+    """The x at which series ``a`` overtakes series ``b`` (linear
+    interpolation), or ``nan`` if they never cross.
+
+    Used for the paper's ABR/AODV delay crossover: ABR is better at low
+    mobility, AODV at high mobility.
+    """
+    for i in range(len(xs) - 1):
+        d0 = a[i] - b[i]
+        d1 = a[i + 1] - b[i + 1]
+        if d0 == 0:
+            return xs[i]
+        if d0 * d1 < 0:
+            frac = abs(d0) / (abs(d0) + abs(d1))
+            return xs[i] + frac * (xs[i + 1] - xs[i])
+    return float("nan")
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio (inf for zero denominators)."""
+    if denominator == 0:
+        return float("inf")
+    return numerator / denominator
+
+
+class ShapeCheck:
+    """One named, checkable claim with an explanation."""
+
+    def __init__(self, name: str, passed: bool, detail: str = "") -> None:
+        self.name = name
+        self.passed = bool(passed)
+        self.detail = detail
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.name}" + (f" — {self.detail}" if self.detail else "")
+
+
+def evaluate_checks(checks: Sequence[ShapeCheck]) -> Tuple[int, int, List[str]]:
+    """Summarise checks: (passed, total, lines)."""
+    lines = []
+    passed = 0
+    for check in checks:
+        mark = "PASS" if check.passed else "FAIL"
+        passed += check.passed
+        suffix = f" — {check.detail}" if check.detail else ""
+        lines.append(f"[{mark}] {check.name}{suffix}")
+    return passed, len(checks), lines

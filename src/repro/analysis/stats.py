@@ -1,0 +1,119 @@
+"""Trial statistics.
+
+The paper repeats every simulation 25 times and reports the average
+(Section III-A).  :func:`aggregate_reports` produces the across-trial
+means (and dispersion) of every derived metric, including the element-wise
+mean of the Figure 6 throughput time series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.metrics.report import MetricsReport
+
+__all__ = [
+    "mean",
+    "std",
+    "sem",
+    "confidence_interval_95",
+    "AggregateMetrics",
+    "aggregate_reports",
+]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def std(values: Sequence[float]) -> float:
+    """Sample standard deviation (n-1); 0.0 for fewer than two values."""
+    values = list(values)
+    n = len(values)
+    if n < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (n - 1))
+
+
+def sem(values: Sequence[float]) -> float:
+    """Standard error of the mean."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    return std(values) / math.sqrt(len(values))
+
+
+def confidence_interval_95(values: Sequence[float]) -> Tuple[float, float]:
+    """Normal-approximation 95% confidence interval for the mean."""
+    values = list(values)
+    m = mean(values)
+    half = 1.96 * sem(values)
+    return (m - half, m + half)
+
+
+@dataclass(frozen=True)
+class AggregateMetrics:
+    """Across-trial means (and standard deviations) of the paper metrics."""
+
+    trials: int
+    avg_delay_ms: float
+    delivery_pct: float
+    overhead_kbps: float
+    avg_link_throughput_kbps: float
+    avg_hops: float
+    avg_delay_ms_std: float = 0.0
+    delivery_pct_std: float = 0.0
+    overhead_kbps_std: float = 0.0
+    avg_link_throughput_kbps_std: float = 0.0
+    avg_hops_std: float = 0.0
+    throughput_series_kbps: List[float] = field(default_factory=list)
+    generated: float = 0.0
+    delivered: float = 0.0
+    drops: Dict[str, float] = field(default_factory=dict)
+
+
+def aggregate_reports(reports: Sequence[MetricsReport]) -> AggregateMetrics:
+    """Average a set of per-trial reports into one aggregate."""
+    if not reports:
+        raise ConfigurationError("aggregate_reports needs at least one report")
+    delays = [r.avg_delay_ms for r in reports]
+    deliveries = [r.delivery_pct for r in reports]
+    overheads = [r.overhead_kbps for r in reports]
+    link_tps = [r.avg_link_throughput_kbps for r in reports]
+    hops = [r.avg_hops for r in reports]
+    series_len = max(len(r.throughput_series_kbps) for r in reports)
+    series = []
+    for i in range(series_len):
+        vals = [
+            r.throughput_series_kbps[i]
+            for r in reports
+            if i < len(r.throughput_series_kbps)
+        ]
+        series.append(mean(vals))
+    drop_keys = set()
+    for r in reports:
+        drop_keys.update(r.drops)
+    drops = {k: mean([r.drops.get(k, 0) for r in reports]) for k in sorted(drop_keys)}
+    return AggregateMetrics(
+        trials=len(reports),
+        avg_delay_ms=mean(delays),
+        delivery_pct=mean(deliveries),
+        overhead_kbps=mean(overheads),
+        avg_link_throughput_kbps=mean(link_tps),
+        avg_hops=mean(hops),
+        avg_delay_ms_std=std(delays),
+        delivery_pct_std=std(deliveries),
+        overhead_kbps_std=std(overheads),
+        avg_link_throughput_kbps_std=std(link_tps),
+        avg_hops_std=std(hops),
+        throughput_series_kbps=series,
+        generated=mean([r.generated for r in reports]),
+        delivered=mean([r.delivered for r in reports]),
+        drops=drops,
+    )

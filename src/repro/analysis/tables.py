@@ -1,0 +1,59 @@
+"""ASCII rendering of result tables and time series.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output consistent across the CLI, the
+examples and the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    Floats are shown with one decimal; other values via ``str``.
+    """
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.1f}"
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(text.rjust(w) for text, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    label: str,
+    times: Sequence[float],
+    values: Sequence[float],
+    max_points: int = 20,
+) -> str:
+    """Render a time series as ``t=...: value`` lines, downsampled."""
+    n = len(values)
+    if n == 0:
+        return f"{label}: (empty)"
+    step = max(1, n // max_points)
+    lines = [label]
+    for i in range(0, n, step):
+        lines.append(f"  t={times[i]:7.1f}s  {values[i]:8.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""The per-pair channel store queried by the MAC and routing layers.
+
+:class:`ChannelModel` owns one :class:`~repro.channel.fading.CompositeFadingProcess`
+per unordered node pair (created lazily the first time a pair interacts) and
+combines it with the distance-dependent mean SNR to produce the pair's
+instantaneous SNR, CSI class, throughput and CSI hop distance.  Channels are
+symmetric — ``state(a, b, t) == state(b, a, t)`` — matching the paper's
+implicit assumption that the CSI measured on a received packet predicts the
+quality of the reverse transmission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from repro.channel.abicm import AbicmScheme
+from repro.channel.csi import ChannelClass, CsiThresholds, hop_distance
+from repro.channel.fading import CompositeFadingProcess
+from repro.channel.propagation import PathLossModel
+from repro.errors import ConfigurationError
+from repro.geometry.vector import Vec2
+from repro.sim.rng import RandomStreams
+
+__all__ = ["ChannelModel", "ChannelConfig"]
+
+PositionFn = Callable[[int, float], Vec2]
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """All tunables of the physical channel in one place."""
+
+    path_loss: PathLossModel = field(default_factory=PathLossModel)
+    thresholds: CsiThresholds = field(default_factory=CsiThresholds)
+    abicm: AbicmScheme = field(default_factory=AbicmScheme)
+    shadow_sigma_db: float = 6.0
+    shadow_tau_s: float = 10.0
+    fast_sigma_db: float = 3.0
+    fast_tau_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.shadow_sigma_db < 0 or self.fast_sigma_db < 0:
+            raise ConfigurationError("fading sigmas must be >= 0")
+        if self.shadow_tau_s <= 0 or self.fast_tau_s <= 0:
+            raise ConfigurationError("fading coherence times must be positive")
+
+
+class ChannelModel:
+    """Symmetric, lazily-instantiated channels between node pairs.
+
+    Args:
+        config: channel tunables.
+        streams: random stream factory; each pair gets stream
+            ``"channel/<lo>-<hi>"``.
+        position_fn: callback ``(node_id, t) -> Vec2`` supplying exact node
+            positions (the network layer provides this).
+    """
+
+    def __init__(
+        self,
+        config: ChannelConfig,
+        streams: RandomStreams,
+        position_fn: PositionFn,
+    ) -> None:
+        self._config = config
+        self._streams = streams
+        self._position_fn = position_fn
+        self._fading: Dict[Tuple[int, int], CompositeFadingProcess] = {}
+        self.samples_taken = 0  # diagnostic counter
+
+    @property
+    def config(self) -> ChannelConfig:
+        """The channel configuration in force."""
+        return self._config
+
+    @property
+    def tx_range(self) -> float:
+        """Hard transmission range in metres."""
+        return self._config.path_loss.tx_range
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def distance(self, a: int, b: int, t: float) -> float:
+        """Distance between nodes ``a`` and ``b`` at time ``t`` (metres)."""
+        return self._position_fn(a, t).distance_to(self._position_fn(b, t))
+
+    def in_range(self, a: int, b: int, t: float) -> bool:
+        """True if ``a`` and ``b`` are within transmission range at ``t``."""
+        if a == b:
+            return False
+        return self._config.path_loss.in_range(self.distance(a, b, t))
+
+    def within(self, a: int, b: int, t: float, range_m: float) -> bool:
+        """True if ``a`` and ``b`` are within ``range_m`` metres at ``t``.
+
+        Used by the MAC for carrier sensing and interference, whose reach
+        exceeds the decode range (a transmitter too far away to decode can
+        still raise the sensed energy and corrupt receptions).
+        """
+        if a == b:
+            return False
+        return self.distance(a, b, t) <= range_m
+
+    # ------------------------------------------------------------------
+    # Channel state
+    # ------------------------------------------------------------------
+    def snr_db(self, a: int, b: int, t: float) -> float:
+        """Instantaneous SNR (dB) of the a<->b channel at time ``t``."""
+        mean = self._config.path_loss.mean_snr_db(self.distance(a, b, t))
+        self.samples_taken += 1
+        return mean + self._fading_process(a, b).sample(t)
+
+    def state(self, a: int, b: int, t: float) -> ChannelClass:
+        """CSI class of the a<->b channel at time ``t``."""
+        return self._config.thresholds.classify(self.snr_db(a, b, t))
+
+    def throughput_bps(self, a: int, b: int, t: float) -> float:
+        """Effective throughput (bps) after adaptive coding/modulation."""
+        return self._config.abicm.throughput(self.state(a, b, t))
+
+    def csi_hop_distance(self, a: int, b: int, t: float) -> float:
+        """CSI-based hop distance of the a<->b link at time ``t``."""
+        return hop_distance(self.state(a, b, t))
+
+    def transmission_time(self, a: int, b: int, t: float, bits: int) -> float:
+        """Seconds to transmit ``bits`` over the a<->b data channel at ``t``."""
+        return self._config.abicm.transmission_time(self.state(a, b, t), bits)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _fading_process(self, a: int, b: int) -> CompositeFadingProcess:
+        key = (a, b) if a < b else (b, a)
+        proc = self._fading.get(key)
+        if proc is None:
+            cfg = self._config
+            proc = CompositeFadingProcess(
+                self._streams.stream(f"channel/{key[0]}-{key[1]}"),
+                shadow_sigma_db=cfg.shadow_sigma_db,
+                shadow_tau_s=cfg.shadow_tau_s,
+                fast_sigma_db=cfg.fast_sigma_db,
+                fast_tau_s=cfg.fast_tau_s,
+            )
+            self._fading[key] = proc
+        return proc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ChannelModel(pairs={len(self._fading)}, samples={self.samples_taken})"

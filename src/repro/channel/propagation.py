@@ -1,0 +1,57 @@
+"""Large-scale propagation: log-distance path loss and transmission range.
+
+The paper fixes the radio transmission range at 250 m and leaves the rest
+of the propagation model to Parsons [7].  We use the standard log-distance
+model in dB:
+
+    mean_snr(d) = snr_ref - 10 * alpha * log10(d / d_ref)
+
+with defaults calibrated so that a link at the 250 m range edge has a mean
+SNR near the C/D boundary while short links sit comfortably in class A.
+Fading (see :mod:`repro.channel.fading`) is added on top of this mean.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PathLossModel"]
+
+
+@dataclass(frozen=True)
+class PathLossModel:
+    """Log-distance mean-SNR model.
+
+    Args:
+        snr_ref_db: mean SNR at the reference distance.
+        d_ref: reference distance in metres.
+        alpha: path-loss exponent (3.5 is typical of shadowed urban/terrain
+            channels, Parsons [7]).
+        tx_range: hard decode range in metres (paper: 250 m).  Beyond this
+            no reception is possible regardless of fading.
+    """
+
+    snr_ref_db: float = 36.0
+    d_ref: float = 25.0
+    alpha: float = 3.0
+    tx_range: float = 250.0
+
+    def __post_init__(self) -> None:
+        if self.d_ref <= 0:
+            raise ConfigurationError(f"d_ref must be positive, got {self.d_ref}")
+        if self.alpha <= 0:
+            raise ConfigurationError(f"alpha must be positive, got {self.alpha}")
+        if self.tx_range <= 0:
+            raise ConfigurationError(f"tx_range must be positive, got {self.tx_range}")
+
+    def mean_snr_db(self, distance: float) -> float:
+        """Mean (large-scale) SNR in dB at ``distance`` metres."""
+        d = max(distance, self.d_ref)  # free-space plateau below d_ref
+        return self.snr_ref_db - 10.0 * self.alpha * math.log10(d / self.d_ref)
+
+    def in_range(self, distance: float) -> bool:
+        """True if two terminals ``distance`` metres apart can communicate."""
+        return distance <= self.tx_range

@@ -1,0 +1,14 @@
+"""The paper's primary contribution: the RICA routing protocol.
+
+RICA (Receiver-Initiated Channel-Adaptive) keeps the route between a
+source and a destination continuously matched to channel conditions: the
+*destination* periodically broadcasts CSI checking packets toward the
+source inside a TTL-limited corridor; every relaying terminal accumulates
+the CSI hop distance and remembers its best downstream pointer; the source
+picks the shortest (in CSI distance) of the arriving copies and switches
+the whole route with a RUPD.  See :class:`repro.core.rica.RicaProtocol`.
+"""
+
+from repro.core.rica import RicaProtocol, RicaConfig
+
+__all__ = ["RicaProtocol", "RicaConfig"]

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+Every exception raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch package failures with a single
+``except`` clause while letting genuine bugs (``TypeError`` etc.) surface.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event kernel is misused.
+
+    Examples: scheduling an event in the past, running a simulator that
+    already finished, or cancelling an event twice.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised when a scenario or component configuration is invalid."""
+
+
+class TopologyError(ReproError):
+    """Raised for invalid topology operations (unknown node ids, etc.)."""
+
+
+class RoutingError(ReproError):
+    """Raised when a routing protocol is driven into an invalid state."""
+
+
+class PacketError(ReproError):
+    """Raised for malformed packet construction or field access."""

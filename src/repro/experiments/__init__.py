@@ -1,0 +1,37 @@
+"""Experiment harness: scenarios, sweeps and the paper's figure presets."""
+
+from repro.experiments.scenario import ScenarioConfig, Scenario, build_scenario, run_scenario
+from repro.experiments.sweep import run_trials, run_speed_sweep
+from repro.experiments.figures import (
+    FigureSpec,
+    FigureResult,
+    figure_spec,
+    list_figures,
+    run_figure,
+)
+from repro.experiments.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    load_results,
+    run_campaign,
+    save_results,
+)
+
+__all__ = [
+    "ScenarioConfig",
+    "Scenario",
+    "build_scenario",
+    "run_scenario",
+    "run_trials",
+    "run_speed_sweep",
+    "FigureSpec",
+    "FigureResult",
+    "figure_spec",
+    "list_figures",
+    "run_figure",
+    "CampaignResult",
+    "CampaignSpec",
+    "load_results",
+    "run_campaign",
+    "save_results",
+]

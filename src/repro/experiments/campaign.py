@@ -1,0 +1,122 @@
+"""Experiment campaigns: run grids of scenarios, persist and reload results.
+
+A *campaign* is the unit of reproduction work: a named grid of scenarios
+(protocol x speed x load), executed with per-cell trial averaging, and
+serialised to JSON so analysis (EXPERIMENTS.md, plots) never needs to
+re-simulate.  ``scripts/collect_results.py`` is a thin wrapper around this
+module.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.stats import AggregateMetrics
+from repro.errors import ConfigurationError
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.sweep import run_trials
+
+__all__ = ["CampaignSpec", "CampaignResult", "run_campaign", "save_results", "load_results"]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A grid of scenarios sharing one base configuration."""
+
+    name: str
+    base: ScenarioConfig
+    protocols: Sequence[str]
+    mean_speeds_kmh: Sequence[float]
+    rates_pps: Sequence[float]
+    trials: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.protocols:
+            raise ConfigurationError("campaign needs at least one protocol")
+        if not self.mean_speeds_kmh or not self.rates_pps:
+            raise ConfigurationError("campaign needs speeds and rates")
+        if self.trials < 1:
+            raise ConfigurationError("trials must be >= 1")
+
+    @property
+    def cells(self) -> int:
+        """Number of (protocol, speed, rate) grid cells."""
+        return len(self.protocols) * len(self.mean_speeds_kmh) * len(self.rates_pps)
+
+
+@dataclass
+class CampaignResult:
+    """Executed campaign: cell key -> aggregate metrics."""
+
+    name: str
+    duration_s: float
+    trials: int
+    #: keys are "protocol/speed/rate" strings (JSON-friendly).
+    cells: Dict[str, AggregateMetrics] = field(default_factory=dict)
+
+    @staticmethod
+    def key(protocol: str, speed_kmh: float, rate_pps: float) -> str:
+        """The cell key for a grid point."""
+        return f"{protocol}/{speed_kmh:g}/{rate_pps:g}"
+
+    def get(self, protocol: str, speed_kmh: float, rate_pps: float) -> AggregateMetrics:
+        """The aggregate for one grid point."""
+        return self.cells[self.key(protocol, speed_kmh, rate_pps)]
+
+    def series(
+        self,
+        protocol: str,
+        rate_pps: float,
+        speeds: Sequence[float],
+        metric: str,
+    ) -> List[float]:
+        """One metric across a speed sweep (a figure line)."""
+        return [getattr(self.get(protocol, s, rate_pps), metric) for s in speeds]
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Execute every cell of the grid (trial-averaged)."""
+    result = CampaignResult(spec.name, spec.base.duration_s, spec.trials)
+    for rate in spec.rates_pps:
+        for protocol in spec.protocols:
+            for speed in spec.mean_speeds_kmh:
+                config = spec.base.with_(
+                    protocol=protocol, mean_speed_kmh=speed, rate_pps=rate
+                )
+                key = CampaignResult.key(protocol, speed, rate)
+                result.cells[key] = run_trials(config, spec.trials)
+                if progress is not None:
+                    progress(key)
+    return result
+
+
+def save_results(result: CampaignResult, path: str) -> None:
+    """Serialise a campaign result to JSON."""
+    payload = {
+        "name": result.name,
+        "duration_s": result.duration_s,
+        "trials": result.trials,
+        "cells": {key: asdict(agg) for key, agg in result.cells.items()},
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1)
+
+
+def load_results(path: str) -> CampaignResult:
+    """Reload a campaign result saved by :func:`save_results`."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    cells = {
+        key: AggregateMetrics(**fields) for key, fields in payload["cells"].items()
+    }
+    return CampaignResult(
+        name=payload["name"],
+        duration_s=payload["duration_s"],
+        trials=payload["trials"],
+        cells=cells,
+    )

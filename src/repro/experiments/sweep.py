@@ -1,0 +1,45 @@
+"""Multi-trial execution and parameter sweeps."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.stats import AggregateMetrics, aggregate_reports
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.metrics.report import MetricsReport
+from repro.sim.rng import derive_seed
+
+__all__ = ["run_trials", "run_speed_sweep"]
+
+
+def run_trials(config: ScenarioConfig, trials: int) -> AggregateMetrics:
+    """Run ``trials`` independent repetitions and average them.
+
+    Each trial gets a seed derived from the base seed and the trial index,
+    so trials are independent but the whole sweep stays reproducible.
+    """
+    reports: List[MetricsReport] = []
+    for trial in range(trials):
+        seed = derive_seed(config.seed, f"trial/{trial}") % (2**31)
+        reports.append(run_scenario(config.with_(seed=seed)))
+    return aggregate_reports(reports)
+
+
+def run_speed_sweep(
+    base: ScenarioConfig,
+    protocols: Sequence[str],
+    mean_speeds_kmh: Sequence[float],
+    trials: int = 1,
+) -> Dict[str, List[AggregateMetrics]]:
+    """The paper's core experiment shape: metric vs. mean mobile speed.
+
+    Returns ``{protocol: [aggregate for each speed, in input order]}``.
+    """
+    results: Dict[str, List[AggregateMetrics]] = {}
+    for name in protocols:
+        per_speed = []
+        for speed in mean_speeds_kmh:
+            cfg = base.with_(protocol=name, mean_speed_kmh=speed)
+            per_speed.append(run_trials(cfg, trials))
+        results[name] = per_speed
+    return results

@@ -1,0 +1,6 @@
+"""2-D geometry primitives: vectors and the rectangular simulation field."""
+
+from repro.geometry.vector import Vec2, distance
+from repro.geometry.field import Field
+
+__all__ = ["Vec2", "distance", "Field"]

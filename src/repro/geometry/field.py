@@ -1,0 +1,55 @@
+"""The rectangular simulation field.
+
+The paper's testing field is 1000 m x 1000 m.  The field knows how to draw
+uniform random points within itself and how to clamp stray coordinates (a
+safety net for mobility models).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.geometry.vector import Vec2
+
+__all__ = ["Field"]
+
+
+class Field:
+    """An axis-aligned rectangle ``[0, width] x [0, height]`` in metres."""
+
+    def __init__(self, width: float = 1000.0, height: float = 1000.0) -> None:
+        if width <= 0 or height <= 0:
+            raise ConfigurationError(f"field dimensions must be positive, got {width}x{height}")
+        self.width = float(width)
+        self.height = float(height)
+
+    @property
+    def area(self) -> float:
+        """Field area in square metres."""
+        return self.width * self.height
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the field diagonal (an upper bound on any distance)."""
+        return (self.width**2 + self.height**2) ** 0.5
+
+    def contains(self, p: Vec2, eps: float = 1e-9) -> bool:
+        """True if ``p`` lies inside the field (with tolerance ``eps``)."""
+        return -eps <= p.x <= self.width + eps and -eps <= p.y <= self.height + eps
+
+    def clamp(self, p: Vec2) -> Vec2:
+        """Project ``p`` onto the field."""
+        return Vec2(min(max(p.x, 0.0), self.width), min(max(p.y, 0.0), self.height))
+
+    def random_point(self, rng: random.Random) -> Vec2:
+        """Uniform random point inside the field."""
+        return Vec2(rng.uniform(0.0, self.width), rng.uniform(0.0, self.height))
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(width, height)``."""
+        return (self.width, self.height)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Field({self.width:.0f}m x {self.height:.0f}m)"

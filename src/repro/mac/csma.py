@@ -1,0 +1,182 @@
+"""Per-node unslotted CSMA/CA transmitter for the common channel.
+
+Transmission procedure (per queued packet):
+
+1. wait a short random *initial defer* (decorrelates the simultaneous
+   rebroadcasts a flood produces — the unslotted equivalent of DIFS plus a
+   first backoff draw);
+2. carrier-sense; if busy, back off for a random interval drawn from a
+   doubling contention window and go to 2 (up to ``max_attempts`` tries,
+   then the packet is dropped);
+3. transmit for ``size_bits / bit_rate`` seconds.  Delivery and collisions
+   are resolved at the end of the transmission by the medium.
+
+Every transmission — even one that collides at every receiver — is counted
+into routing overhead, matching the paper's "each time the common channel
+is used to transmit a routing packet, this is counted as one transmission".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.mac.medium import CommonChannelMedium, Transmission
+from repro.metrics.collector import MetricsCollector
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.channel.model import ChannelModel
+
+__all__ = ["CsmaMac", "MacConfig"]
+
+# Receiver callback: (receiver_id, packet, sender_id)
+DeliverFn = Callable[[int, Packet, int], None]
+# Neighbour query: (node_id, time) -> list of node ids in range
+NeighborsFn = Callable[[int, float], list]
+
+
+@dataclass(frozen=True)
+class MacConfig:
+    """Common-channel MAC tunables.
+
+    Defaults follow the paper where specified (250 kbps common channel) and
+    use conventional CSMA/CA constants elsewhere.
+    """
+
+    bit_rate_bps: float = 250_000.0
+    queue_capacity: int = 30
+    initial_defer_max_s: float = 0.0012
+    backoff_min_s: float = 0.002
+    backoff_max_s: float = 0.032
+    max_attempts: int = 7
+    #: Carrier-sense / interference range as a multiple of the decode
+    #: range.  2.0 is the conventional choice; it makes the common channel
+    #: a scarce resource (see repro.mac.medium).
+    cs_range_factor: float = 2.0
+    #: Routing packets stuck in the MAC queue longer than this are stale
+    #: and silently dropped (None disables).  Under saturation this is the
+    #: difference between delivering old news and delivering nothing.
+    queue_residence_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.bit_rate_bps <= 0:
+            raise ConfigurationError("bit_rate_bps must be positive")
+        if self.queue_capacity <= 0:
+            raise ConfigurationError("queue_capacity must be positive")
+        if not (0 < self.backoff_min_s <= self.backoff_max_s):
+            raise ConfigurationError("backoff window must satisfy 0 < min <= max")
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+
+
+class CsmaMac:
+    """One node's transmitter on the shared common channel."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        medium: CommonChannelMedium,
+        channel: "ChannelModel",
+        metrics: MetricsCollector,
+        config: MacConfig,
+        rng: random.Random,
+        deliver: DeliverFn,
+        neighbors: NeighborsFn,
+    ) -> None:
+        self._node_id = node_id
+        self._sim = sim
+        self._medium = medium
+        self._channel = channel
+        self._metrics = metrics
+        self._config = config
+        self._rng = rng
+        self._deliver = deliver
+        self._neighbors = neighbors
+        self._queue: DropTailQueue[Packet] = DropTailQueue(
+            config.queue_capacity, max_residence=config.queue_residence_s
+        )
+        self._busy = False  # a send cycle (defer/backoff/tx) is in progress
+        self.sent = 0
+        self.dropped = 0
+
+    @property
+    def queue_length(self) -> int:
+        """Packets waiting for the channel (excluding any in flight)."""
+        return len(self._queue)
+
+    def send(self, packet: Packet) -> bool:
+        """Enqueue ``packet`` for broadcast.  Returns False if queue full.
+
+        A full MAC queue silently discards the packet (counted in
+        diagnostics) — routing packets are fire-and-forget, exactly the
+        situation of a saturated common channel in the paper.
+        """
+        if not self._queue.push(packet, self._sim.now):
+            self.dropped += 1
+            self._metrics.record_event("mac_queue_drop")
+            return False
+        self._pump()
+        return True
+
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        """Start the send cycle for the head packet if idle."""
+        if self._busy or not self._queue:
+            return
+        self._busy = True
+        defer = self._rng.uniform(0.0, self._config.initial_defer_max_s)
+        self._sim.schedule(defer, self._attempt, 1)
+
+    def _attempt(self, attempt: int) -> None:
+        now = self._sim.now
+        packet = self._queue.peek(now)
+        if packet is None:  # queue drained (shouldn't happen; be safe)
+            self._busy = False
+            return
+        if self._medium.busy_for(self._node_id, now):
+            if attempt >= self._config.max_attempts:
+                self._queue.pop(now)
+                self.dropped += 1
+                self._metrics.record_event("mac_backoff_drop")
+                self._busy = False
+                self._pump()
+                return
+            window = min(
+                self._config.backoff_min_s * (2 ** (attempt - 1)),
+                self._config.backoff_max_s,
+            )
+            delay = self._rng.uniform(self._config.backoff_min_s / 2.0, window)
+            self._sim.schedule(delay, self._attempt, attempt + 1)
+            return
+        # Channel idle: transmit.
+        self._queue.pop(now)
+        duration = packet.size_bits / self._config.bit_rate_bps
+        tx = self._medium.begin(self._node_id, now, now + duration, packet)
+        self._metrics.record_control_tx(packet.kind, packet.size_bits, now=now)
+        self._metrics.record_radio(tx_bits=packet.size_bits, now=now)
+        self.sent += 1
+        self._sim.schedule(duration, self._complete, tx)
+
+    def _complete(self, tx: Transmission) -> None:
+        # Resolve reception at every node in range at transmission start.
+        receivers = self._neighbors(self._node_id, tx.start)
+        now = self._sim.now
+        for receiver in receivers:
+            if receiver == self._node_id:
+                continue
+            # Receivers spend energy listening whether or not the packet
+            # survives the collision check.
+            self._metrics.record_radio(rx_bits=tx.packet.size_bits, now=now)
+            if self._medium.collided(tx, receiver):
+                self._medium.total_collisions += 1
+                self._metrics.record_event("mac_collision")
+                continue
+            self._deliver(receiver, tx.packet, self._node_id)
+        self._busy = False
+        self._pump()

@@ -1,0 +1,123 @@
+"""The shared common channel: transmission registry and collision logic.
+
+The medium tracks every in-flight (and recently finished) common-channel
+transmission.  Two predicates implement the physics:
+
+* :meth:`CommonChannelMedium.busy_for` — carrier sensing: the channel is
+  busy at a node if any current transmitter is within *carrier-sense*
+  range of it.  Spatial reuse falls out naturally: far-apart transmitters
+  don't block each other.
+* :meth:`CommonChannelMedium.collided` — reception: a transmission is
+  corrupted at a receiver if any *other* transmission overlaps it in time
+  while its sender is within *interference* range of that receiver, or if
+  the receiver itself was transmitting (half-duplex).  This includes the
+  classic hidden-terminal case.
+
+Both ranges default to twice the decode range (``cs_range_factor`` on
+:class:`~repro.mac.csma.MacConfig`): energy is sensed, and receptions are
+corrupted, well beyond the distance at which packets can be decoded.  This
+is what makes the 250 kbps common channel a genuinely scarce shared
+resource — the mechanism behind the link-state protocol's collapse in the
+paper ("the common channel is very congested for the link state
+protocol").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.channel.model import ChannelModel
+
+__all__ = ["Transmission", "CommonChannelMedium"]
+
+
+class Transmission:
+    """One common-channel transmission interval."""
+
+    __slots__ = ("sender", "start", "end", "packet")
+
+    def __init__(self, sender: int, start: float, end: float, packet: Packet) -> None:
+        self.sender = sender
+        self.start = start
+        self.end = end
+        self.packet = packet
+
+    def overlaps(self, other: "Transmission") -> bool:
+        """True if the two transmissions overlap in time."""
+        return self.start < other.end and other.start < self.end
+
+    def active_at(self, t: float) -> bool:
+        """True if the transmission occupies the channel at time ``t``."""
+        return self.start <= t < self.end
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Transmission(sender={self.sender}, [{self.start:.6f}, {self.end:.6f}])"
+
+
+class CommonChannelMedium:
+    """Registry of common-channel transmissions with collision queries."""
+
+    #: Transmissions older than this are pruned; must exceed the longest
+    #: possible control-packet airtime (a 100-byte packet at 250 kbps is
+    #: 3.2 ms, so 20 ms is a comfortable margin).
+    PRUNE_HORIZON_S = 0.02
+
+    def __init__(self, channel: "ChannelModel", cs_range_m: float = 0.0) -> None:
+        self._channel = channel
+        #: Carrier-sense / interference range in metres; defaults to twice
+        #: the decode range when not supplied.
+        self.cs_range_m = cs_range_m if cs_range_m > 0 else 2.0 * channel.tx_range
+        self._transmissions: List[Transmission] = []
+        self.total_transmissions = 0
+        self.total_collisions = 0
+
+    def begin(self, sender: int, start: float, end: float, packet: Packet) -> Transmission:
+        """Register a new transmission and return its record."""
+        tx = Transmission(sender, start, end, packet)
+        self._prune(start)
+        self._transmissions.append(tx)
+        self.total_transmissions += 1
+        return tx
+
+    def busy_for(self, node: int, t: float) -> bool:
+        """Carrier sense at ``node``: any transmitter within sense range?"""
+        cs = self.cs_range_m
+        for tx in self._transmissions:
+            if not (tx.start <= t < tx.end):
+                continue
+            if tx.sender == node:
+                return True  # we are transmitting ourselves
+            if self._channel.within(tx.sender, node, t, cs):
+                return True
+        return False
+
+    def collided(self, tx: Transmission, receiver: int) -> bool:
+        """Did ``receiver`` lose ``tx`` to an overlapping transmission?"""
+        cs = self.cs_range_m
+        for other in self._transmissions:
+            if other is tx or not tx.overlaps(other):
+                continue
+            if other.sender == receiver:
+                return True  # half-duplex: receiver was transmitting
+            overlap_t = max(tx.start, other.start)
+            if self._channel.within(other.sender, receiver, overlap_t, cs):
+                return True
+        return False
+
+    def active_count(self, t: float) -> int:
+        """Number of transmissions occupying the channel at ``t``."""
+        return sum(1 for tx in self._transmissions if tx.active_at(t))
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.PRUNE_HORIZON_S
+        if self._transmissions and self._transmissions[0].end < horizon:
+            self._transmissions = [tx for tx in self._transmissions if tx.end >= horizon]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CommonChannelMedium(tracked={len(self._transmissions)}, "
+            f"total={self.total_transmissions})"
+        )

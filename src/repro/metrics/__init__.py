@@ -1,0 +1,16 @@
+"""Metrics collection and reporting.
+
+The paper evaluates five quantities (Section III): average end-to-end
+delay, successful packet delivery percentage, routing overhead in kbps
+(control packets *plus* data-link ACKs), average link throughput of
+delivered packets' routes, and average hop count — plus the Figure 6
+aggregate-throughput time series in 4-second bins.
+:class:`~repro.metrics.collector.MetricsCollector` accumulates raw counts
+during a run and :class:`~repro.metrics.report.MetricsReport` exposes the
+derived quantities.
+"""
+
+from repro.metrics.collector import MetricsCollector, DropReason
+from repro.metrics.report import MetricsReport
+
+__all__ = ["MetricsCollector", "MetricsReport", "DropReason"]

@@ -1,0 +1,178 @@
+"""Run-time metrics accumulation."""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.net.packet import DataPacket
+
+__all__ = ["MetricsCollector", "DropReason"]
+
+
+class DropReason(enum.Enum):
+    """Why a data packet failed to reach its destination."""
+
+    QUEUE_FULL = "queue_full"
+    RESIDENCE_TIMEOUT = "residence_timeout"
+    NO_ROUTE = "no_route"
+    PENDING_OVERFLOW = "pending_overflow"
+    PENDING_TIMEOUT = "pending_timeout"
+    LINK_FAILURE = "link_failure"
+    HOP_LIMIT = "hop_limit"
+    MAC_DROP = "mac_drop"
+
+
+class MetricsCollector:
+    """Accumulates everything the paper's five metrics need.
+
+    One collector serves a whole simulation run; every layer reports into
+    it.  Derived quantities live on :class:`~repro.metrics.report.MetricsReport`
+    (see :meth:`report`).
+    """
+
+    def __init__(
+        self, duration: float, throughput_bin_s: float = 4.0, warmup_s: float = 0.0
+    ) -> None:
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be positive, got {duration}")
+        if throughput_bin_s <= 0:
+            raise ConfigurationError(f"throughput_bin_s must be positive, got {throughput_bin_s}")
+        if not (0.0 <= warmup_s < duration):
+            raise ConfigurationError(
+                f"warmup_s must lie in [0, duration), got {warmup_s} of {duration}"
+            )
+        self.duration = float(duration)
+        self.throughput_bin_s = float(throughput_bin_s)
+        #: Packets generated before this time (and control traffic sent
+        #: before it) are excluded from all derived metrics — standard
+        #: steady-state measurement practice.
+        self.warmup_s = float(warmup_s)
+
+        # Data plane.
+        self.generated = 0
+        self.delivered = 0
+        self.delivered_bits = 0
+        self.duplicates = 0
+        self.delay_sum_s = 0.0
+        self.hops_sum = 0
+        self.link_rate_sum_bps = 0.0
+        self.drops: Counter = Counter()
+        self._delivered_uids: set = set()
+
+        # Per-flow breakdown (keyed by DataPacket.flow_id; -1 = unassigned).
+        self.flow_generated: Counter = Counter()
+        self.flow_delivered: Counter = Counter()
+        self.flow_delay_sum_s: Dict[int, float] = {}
+
+        # Control plane / overhead.
+        self.control_bits: Counter = Counter()  # by packet kind
+        self.control_tx_count: Counter = Counter()
+        self.ack_bits = 0
+
+        # Radio activity (energy accounting, see repro.metrics.energy).
+        self.radio_tx_bits = 0
+        self.radio_rx_bits = 0
+
+        # Figure 6 time series.
+        n_bins = int(self.duration / self.throughput_bin_s + 0.5)
+        self.delivered_bits_bins: List[int] = [0] * max(n_bins, 1)
+
+        # Diagnostics (not paper metrics, used by tests and analysis).
+        self.events: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def record_generated(self, pkt: "DataPacket") -> None:
+        """A source created a new application packet."""
+        if pkt.created_at < self.warmup_s:
+            return
+        self.generated += 1
+        self.flow_generated[pkt.flow_id] += 1
+
+    def record_delivered(self, pkt: "DataPacket", now: float) -> None:
+        """A packet reached its destination terminal."""
+        if pkt.created_at < self.warmup_s:
+            return
+        if pkt.uid in self._delivered_uids:
+            self.duplicates += 1
+            return
+        self._delivered_uids.add(pkt.uid)
+        self.delivered += 1
+        self.delivered_bits += pkt.size_bits
+        delay = now - pkt.created_at
+        self.delay_sum_s += delay
+        self.hops_sum += pkt.hops_traversed
+        self.link_rate_sum_bps += sum(pkt.link_rates_bps)
+        self.flow_delivered[pkt.flow_id] += 1
+        self.flow_delay_sum_s[pkt.flow_id] = (
+            self.flow_delay_sum_s.get(pkt.flow_id, 0.0) + delay
+        )
+        bin_idx = int(now / self.throughput_bin_s)
+        if 0 <= bin_idx < len(self.delivered_bits_bins):
+            self.delivered_bits_bins[bin_idx] += pkt.size_bits
+
+    def record_dropped(self, pkt: "DataPacket", reason: DropReason) -> None:
+        """A data packet was discarded before delivery."""
+        if pkt.created_at < self.warmup_s:
+            return
+        self.drops[reason] += 1
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def record_control_tx(self, kind: str, bits: int, now: Optional[float] = None) -> None:
+        """One transmission of a routing packet on the common channel.
+
+        ``now`` enables warmup gating; when omitted the transmission is
+        always counted (backwards compatible).
+        """
+        if now is not None and now < self.warmup_s:
+            return
+        self.control_bits[kind] += bits
+        self.control_tx_count[kind] += 1
+
+    def record_ack(self, bits: int, now: Optional[float] = None) -> None:
+        """One data-link acknowledgment on a data channel."""
+        if now is not None and now < self.warmup_s:
+            return
+        self.ack_bits += bits
+
+    def record_radio(
+        self, tx_bits: int = 0, rx_bits: int = 0, now: Optional[float] = None
+    ) -> None:
+        """Raw radio activity for energy accounting (any packet type)."""
+        if now is not None and now < self.warmup_s:
+            return
+        self.radio_tx_bits += tx_bits
+        self.radio_rx_bits += rx_bits
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def record_event(self, name: str, count: int = 1) -> None:
+        """Count an arbitrary named event (collisions, loops, LQs, ...)."""
+        self.events[name] += count
+
+    # ------------------------------------------------------------------
+    @property
+    def measured_duration(self) -> float:
+        """Seconds of measured (post-warmup) simulation time."""
+        return self.duration - self.warmup_s
+
+    def report(self) -> "MetricsReport":
+        """Freeze the counters into a derived-metrics report."""
+        from repro.metrics.report import MetricsReport
+
+        return MetricsReport.from_collector(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MetricsCollector(gen={self.generated}, del={self.delivered}, "
+            f"drops={sum(self.drops.values())})"
+        )

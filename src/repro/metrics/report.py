@@ -1,0 +1,121 @@
+"""Derived metrics — the paper's five evaluation quantities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["MetricsReport"]
+
+
+@dataclass(frozen=True)
+class MetricsReport:
+    """Immutable summary of one simulation run.
+
+    Attributes map one-to-one onto the paper's metrics:
+
+    * ``avg_delay_ms`` — Figure 2 (average end-to-end delay, ms);
+    * ``delivery_pct`` — Figure 3 (successful delivery percentage);
+    * ``overhead_kbps`` — Figure 4 (routing + data-ACK bits / duration);
+    * ``avg_link_throughput_kbps`` — Figure 5(a) (total bandwidth of links
+      traversed by delivered packets / total hops traversed);
+    * ``avg_hops`` — Figure 5(b);
+    * ``throughput_series_kbps`` — Figure 6 (delivered bits per 4 s bin).
+    """
+
+    duration: float
+    generated: int
+    delivered: int
+    avg_delay_ms: float
+    delivery_pct: float
+    overhead_kbps: float
+    avg_link_throughput_kbps: float
+    avg_hops: float
+    throughput_series_kbps: List[float] = field(default_factory=list)
+    drops: Dict[str, int] = field(default_factory=dict)
+    control_bits: Dict[str, int] = field(default_factory=dict)
+    control_tx_count: Dict[str, int] = field(default_factory=dict)
+    ack_bits: int = 0
+    events: Dict[str, int] = field(default_factory=dict)
+    #: Per-flow (flow_id -> value) breakdowns for fairness analysis.
+    flow_delivery_pct: Dict[int, float] = field(default_factory=dict)
+    flow_avg_delay_ms: Dict[int, float] = field(default_factory=dict)
+    #: Radio energy accounting (see repro.metrics.energy).
+    radio_tx_bits: int = 0
+    radio_rx_bits: int = 0
+    energy_j: float = 0.0
+    energy_mj_per_delivered_kbit: float = 0.0
+
+    @classmethod
+    def from_collector(cls, c) -> "MetricsReport":
+        """Derive the report from a :class:`~repro.metrics.collector.MetricsCollector`."""
+        delivered = c.delivered
+        avg_delay_ms = (c.delay_sum_s / delivered * 1000.0) if delivered else 0.0
+        delivery_pct = (delivered / c.generated * 100.0) if c.generated else 0.0
+        total_overhead_bits = sum(c.control_bits.values()) + c.ack_bits
+        measured = getattr(c, "measured_duration", c.duration)
+        overhead_kbps = total_overhead_bits / measured / 1000.0
+        avg_link_tp = (c.link_rate_sum_bps / c.hops_sum / 1000.0) if c.hops_sum else 0.0
+        avg_hops = (c.hops_sum / delivered) if delivered else 0.0
+        series = [
+            bits / c.throughput_bin_s / 1000.0 for bits in c.delivered_bits_bins
+        ]
+        flow_delivery = {
+            flow: 100.0 * c.flow_delivered.get(flow, 0) / count
+            for flow, count in c.flow_generated.items()
+            if count
+        }
+        flow_delay = {
+            flow: c.flow_delay_sum_s[flow] / c.flow_delivered[flow] * 1000.0
+            for flow in c.flow_delivered
+            if c.flow_delivered[flow]
+        }
+        from repro.metrics.energy import EnergyModel
+
+        energy_model = EnergyModel()
+        energy_j = energy_model.total_joules(c.radio_tx_bits, c.radio_rx_bits)
+        delivered_kbits = getattr(c, "delivered_bits", 0) / 1000.0
+        energy_per_kbit = (energy_j * 1000.0 / delivered_kbits) if delivered_kbits else 0.0
+        return cls(
+            duration=c.duration,
+            generated=c.generated,
+            delivered=delivered,
+            avg_delay_ms=avg_delay_ms,
+            delivery_pct=delivery_pct,
+            overhead_kbps=overhead_kbps,
+            avg_link_throughput_kbps=avg_link_tp,
+            avg_hops=avg_hops,
+            throughput_series_kbps=series,
+            drops={reason.value: count for reason, count in c.drops.items()},
+            control_bits=dict(c.control_bits),
+            control_tx_count=dict(c.control_tx_count),
+            ack_bits=c.ack_bits,
+            events=dict(c.events),
+            flow_delivery_pct=flow_delivery,
+            flow_avg_delay_ms=flow_delay,
+            radio_tx_bits=c.radio_tx_bits,
+            radio_rx_bits=c.radio_rx_bits,
+            energy_j=energy_j,
+            energy_mj_per_delivered_kbit=energy_per_kbit,
+        )
+
+    @property
+    def total_drops(self) -> int:
+        """Number of data packets lost for any reason."""
+        return sum(self.drops.values())
+
+    def summary(self) -> str:
+        """One human-readable block, used by the CLI and examples."""
+        lines = [
+            f"generated packets     : {self.generated}",
+            f"delivered packets     : {self.delivered}",
+            f"avg end-to-end delay  : {self.avg_delay_ms:.1f} ms",
+            f"delivery percentage   : {self.delivery_pct:.1f} %",
+            f"routing overhead      : {self.overhead_kbps:.1f} kbps",
+            f"avg link throughput   : {self.avg_link_throughput_kbps:.1f} kbps",
+            f"avg hop count         : {self.avg_hops:.2f}",
+        ]
+        if self.drops:
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(self.drops.items()))
+            lines.append(f"drops                 : {detail}")
+        return "\n".join(lines)

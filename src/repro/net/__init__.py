@@ -1,0 +1,22 @@
+"""Network substrate: packets, queues, nodes and the network container.
+
+This package holds everything the paper's simulation environment needs that
+is neither physical layer (:mod:`repro.channel`), medium access
+(:mod:`repro.mac`) nor routing logic (:mod:`repro.routing`,
+:mod:`repro.core`):
+
+* :mod:`~repro.net.packet` — the data packet and the base packet type;
+* :mod:`~repro.net.queue` — drop-tail FCFS queues with the paper's
+  10-packet capacity and 3 s maximum-residence rule;
+* :mod:`~repro.net.datalink` — per-neighbour store-and-forward transmitter
+  with link-layer ACK, retry and break detection;
+* :mod:`~repro.net.node` — a mobile terminal binding all layers together;
+* :mod:`~repro.net.network` — the set of terminals plus topology queries.
+"""
+
+from repro.net.packet import Packet, DataPacket
+from repro.net.queue import DropTailQueue, QueueDrop
+from repro.net.node import Node
+from repro.net.network import Network
+
+__all__ = ["Packet", "DataPacket", "DropTailQueue", "QueueDrop", "Node", "Network"]

@@ -1,0 +1,148 @@
+"""The network container: terminals, channel, medium and dispatch.
+
+:class:`Network` assembles the simulation environment of the paper's
+Section III-A: it owns the :class:`~repro.channel.model.ChannelModel`, the
+:class:`~repro.mac.medium.CommonChannelMedium` and all
+:class:`~repro.net.node.Node` objects, wires each node's MAC and data link
+to the shared substrate, and answers topology queries (positions,
+neighbour sets) for every layer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.channel.model import ChannelConfig, ChannelModel
+from repro.errors import TopologyError
+from repro.geometry.field import Field
+from repro.geometry.vector import Vec2
+from repro.mac.csma import CsmaMac, MacConfig
+from repro.mac.medium import CommonChannelMedium
+from repro.metrics.collector import MetricsCollector
+from repro.mobility.base import MobilityModel
+from repro.net.datalink import DataLink, DataLinkConfig
+from repro.net.node import Node
+from repro.net.packet import DataPacket, Packet
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+__all__ = ["Network"]
+
+
+class Network:
+    """All terminals plus the shared physical substrate."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        field: Field,
+        streams: RandomStreams,
+        metrics: MetricsCollector,
+        channel_config: Optional[ChannelConfig] = None,
+        mac_config: Optional[MacConfig] = None,
+        datalink_config: Optional[DataLinkConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.field = field
+        self.streams = streams
+        self.metrics = metrics
+        self.channel = ChannelModel(
+            channel_config or ChannelConfig(), streams, self.position
+        )
+        self._mac_config = mac_config or MacConfig()
+        self.medium = CommonChannelMedium(
+            self.channel,
+            cs_range_m=self._mac_config.cs_range_factor * self.channel.tx_range,
+        )
+        self._datalink_config = datalink_config or DataLinkConfig()
+        self._nodes: Dict[int, Node] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, mobility: MobilityModel, node_id: Optional[int] = None) -> Node:
+        """Create a terminal with the given mobility model and wire it up."""
+        nid = node_id if node_id is not None else len(self._nodes)
+        if nid in self._nodes:
+            raise TopologyError(f"node id {nid} already exists")
+        node = Node(nid, mobility)
+        node.mac = CsmaMac(
+            node_id=nid,
+            sim=self.sim,
+            medium=self.medium,
+            channel=self.channel,
+            metrics=self.metrics,
+            config=self._mac_config,
+            rng=self.streams.stream(f"mac/{nid}"),
+            deliver=self._deliver_control,
+            neighbors=self.neighbors,
+        )
+        node.datalink = DataLink(
+            node_id=nid,
+            sim=self.sim,
+            channel=self.channel,
+            metrics=self.metrics,
+            config=self._datalink_config,
+            deliver=self._deliver_data,
+            # Late-bound so routing protocols (attached after construction)
+            # and tests that stub the handler are always reached.
+            on_link_failure=lambda nh, pkt, rest, n=node: n.on_link_failure(nh, pkt, rest),
+        )
+        self._nodes[nid] = node
+        return node
+
+    # ------------------------------------------------------------------
+    # Topology queries
+    # ------------------------------------------------------------------
+    @property
+    def node_ids(self) -> List[int]:
+        """All node ids, ascending."""
+        return sorted(self._nodes)
+
+    @property
+    def node_count(self) -> int:
+        """Number of terminals."""
+        return len(self._nodes)
+
+    def node(self, node_id: int) -> Node:
+        """Look up a node by id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise TopologyError(f"unknown node id {node_id}") from None
+
+    def nodes(self) -> List[Node]:
+        """All nodes, ascending by id."""
+        return [self._nodes[nid] for nid in sorted(self._nodes)]
+
+    def position(self, node_id: int, t: float) -> Vec2:
+        """Exact position of ``node_id`` at time ``t``."""
+        return self.node(node_id).position(t)
+
+    def neighbors(self, node_id: int, t: float) -> List[int]:
+        """Ids of all nodes within transmission range of ``node_id`` at ``t``."""
+        origin = self.position(node_id, t)
+        tx_range = self.channel.tx_range
+        result = []
+        for nid, node in self._nodes.items():
+            if nid == node_id:
+                continue
+            if origin.distance_to(node.position(t)) <= tx_range:
+                result.append(nid)
+        return result
+
+    def adjacency(self, t: float) -> Dict[int, List[int]]:
+        """Full neighbour map at time ``t`` (used by link-state install)."""
+        return {nid: self.neighbors(nid, t) for nid in self._nodes}
+
+    # ------------------------------------------------------------------
+    # Dispatch (MAC/data-link delivery callbacks)
+    # ------------------------------------------------------------------
+    def _deliver_control(self, receiver: int, packet: Packet, sender: int) -> None:
+        self._nodes[receiver].receive_control(packet, sender)
+
+    def _deliver_data(self, receiver: int, packet: DataPacket, sender: int) -> None:
+        self._nodes[receiver].receive_data(packet, sender)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Network(nodes={len(self._nodes)})"

@@ -1,0 +1,101 @@
+"""Packet types.
+
+All packets carry an explicit ``size_bytes`` because both delay (data
+channel transmission time) and routing overhead (common channel bit
+counting) are driven by sizes.  The paper's data packet is 512 bytes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.errors import PacketError
+
+__all__ = ["Packet", "DataPacket", "DATA_PACKET_BYTES", "ACK_BYTES"]
+
+#: Size of a data packet in bytes (paper Section III-A).
+DATA_PACKET_BYTES = 512
+
+#: Size of a link-layer data acknowledgment in bytes.  The paper counts ACK
+#: bits into routing overhead but does not give a size; 20 bytes is a
+#: typical compact link-layer ACK.
+ACK_BYTES = 20
+
+_packet_uid = itertools.count(1)
+
+
+class Packet:
+    """Base packet: every transmittable unit has a size and a unique id."""
+
+    __slots__ = ("uid", "size_bytes", "created_at")
+
+    kind = "packet"
+
+    def __init__(self, size_bytes: int, created_at: float) -> None:
+        if size_bytes <= 0:
+            raise PacketError(f"packet size must be positive, got {size_bytes}")
+        self.uid = next(_packet_uid)
+        self.size_bytes = int(size_bytes)
+        self.created_at = float(created_at)
+
+    @property
+    def size_bits(self) -> int:
+        """Packet size in bits."""
+        return self.size_bytes * 8
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(uid={self.uid}, {self.size_bytes}B)"
+
+
+class DataPacket(Packet):
+    """An application data packet travelling hop by hop.
+
+    Besides addressing, the packet accumulates the measurements the paper's
+    route-quality metrics need: the number of hops actually traversed and
+    the throughput of every link it crossed (Figure 5).  The ``update_flag``
+    marks the first packet sent after a RICA route switch (Section II-C).
+    """
+
+    __slots__ = (
+        "src",
+        "dst",
+        "seq",
+        "flow_id",
+        "hops_traversed",
+        "link_rates_bps",
+        "update_flag",
+    )
+
+    kind = "data"
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        seq: int,
+        created_at: float,
+        size_bytes: int = DATA_PACKET_BYTES,
+        flow_id: Optional[int] = None,
+    ) -> None:
+        super().__init__(size_bytes, created_at)
+        if src == dst:
+            raise PacketError(f"data packet src == dst == {src}")
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.flow_id = flow_id if flow_id is not None else -1
+        self.hops_traversed = 0
+        self.link_rates_bps: List[float] = []
+        self.update_flag = False
+
+    def record_hop(self, rate_bps: float) -> None:
+        """Record the successful traversal of one link at ``rate_bps``."""
+        self.hops_traversed += 1
+        self.link_rates_bps.append(rate_bps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DataPacket(uid={self.uid}, {self.src}->{self.dst}, seq={self.seq}, "
+            f"hops={self.hops_traversed})"
+        )

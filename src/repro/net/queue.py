@@ -1,0 +1,152 @@
+"""Drop-tail FCFS queues with a maximum-residence rule.
+
+The paper's buffer model (Section III-A): each connection between two
+adjacent terminals has a 10-packet data buffer; a packet may wait at most
+3 seconds in a buffer before being discarded.  :class:`DropTailQueue`
+implements exactly that and reports every drop with a reason so the metrics
+layer can attribute losses the way the paper discusses them (congestion
+versus residence timeout).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Callable, Deque, Generic, List, Optional, Tuple, TypeVar
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DropTailQueue", "QueueDrop"]
+
+T = TypeVar("T")
+
+
+class QueueDrop(enum.Enum):
+    """Why a packet left the queue without being served."""
+
+    FULL = "queue_full"
+    EXPIRED = "residence_timeout"
+    FLUSHED = "flushed"
+
+
+class DropTailQueue(Generic[T]):
+    """Bounded FCFS queue with per-item residence timeout.
+
+    Args:
+        capacity: maximum queued items (paper: 10).
+        max_residence: maximum seconds an item may wait; ``None`` disables
+            the rule.  Expiry is enforced lazily on :meth:`pop` and
+            :meth:`expire` (there is no per-item timer, keeping the event
+            queue small).
+        on_drop: optional callback ``(item, reason)`` invoked for every
+            dropped item.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        max_residence: Optional[float] = None,
+        on_drop: Optional[Callable[[T, QueueDrop], None]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"queue capacity must be positive, got {capacity}")
+        if max_residence is not None and max_residence <= 0:
+            raise ConfigurationError(f"max_residence must be positive, got {max_residence}")
+        self._capacity = capacity
+        self._max_residence = max_residence
+        self._on_drop = on_drop
+        self._items: Deque[Tuple[float, T]] = deque()
+        self.drops_full = 0
+        self.drops_expired = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Maximum number of queued items."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        """True if a push would be dropped."""
+        return len(self._items) >= self._capacity
+
+    # ------------------------------------------------------------------
+    def push(self, item: T, now: float) -> bool:
+        """Enqueue ``item`` at time ``now``.
+
+        Returns True on success; False if the queue was full (the item is
+        dropped, ``on_drop`` fires with :attr:`QueueDrop.FULL`).
+        """
+        self.expire(now)
+        if len(self._items) >= self._capacity:
+            self.drops_full += 1
+            self._drop(item, QueueDrop.FULL)
+            return False
+        self._items.append((now, item))
+        return True
+
+    def pop(self, now: float) -> Optional[T]:
+        """Dequeue the oldest non-expired item, or None if empty."""
+        self.expire(now)
+        if not self._items:
+            return None
+        return self._items.popleft()[1]
+
+    def peek(self, now: float) -> Optional[T]:
+        """The item :meth:`pop` would return, without removing it."""
+        self.expire(now)
+        return self._items[0][1] if self._items else None
+
+    def requeue_front(self, item: T, enqueued_at: float) -> None:
+        """Put ``item`` back at the head, preserving its original arrival time.
+
+        Used by the data link when a transmission fails and the packet will
+        be retried: its residence clock must keep running from the original
+        enqueue, or the 3 s rule would be defeated by retries.
+        """
+        self._items.appendleft((enqueued_at, item))
+
+    def expire(self, now: float) -> int:
+        """Drop all items older than the residence limit.  Returns count."""
+        if self._max_residence is None:
+            return 0
+        dropped = 0
+        deadline = now - self._max_residence
+        while self._items and self._items[0][0] < deadline:
+            _, item = self._items.popleft()
+            self.drops_expired += 1
+            dropped += 1
+            self._drop(item, QueueDrop.EXPIRED)
+        return dropped
+
+    def flush(self) -> List[T]:
+        """Remove and return all items (without firing ``on_drop``)."""
+        items = [item for _, item in self._items]
+        self._items.clear()
+        return items
+
+    def drain(self) -> List[Tuple[float, T]]:
+        """Remove and return all ``(enqueue_time, item)`` pairs."""
+        pairs = list(self._items)
+        self._items.clear()
+        return pairs
+
+    def entries(self) -> List[Tuple[float, T]]:
+        """Snapshot of ``(enqueue_time, item)`` pairs (oldest first)."""
+        return list(self._items)
+
+    @property
+    def oldest_enqueue_time(self) -> Optional[float]:
+        """Arrival time of the head item, or None if empty."""
+        return self._items[0][0] if self._items else None
+
+    # ------------------------------------------------------------------
+    def _drop(self, item: T, reason: QueueDrop) -> None:
+        if self._on_drop is not None:
+            self._on_drop(item, reason)

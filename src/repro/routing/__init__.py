@@ -1,0 +1,36 @@
+"""Routing protocols and shared routing machinery.
+
+The paper compares five protocols; this package hosts the four baselines —
+:mod:`~repro.routing.aodv` (AODV), :mod:`~repro.routing.abr` (ABR),
+:mod:`~repro.routing.bgca` (BGCA) and :mod:`~repro.routing.link_state`
+(link state with Dijkstra) — plus the shared machinery they and the RICA
+implementation (:mod:`repro.core.rica`) are built from:
+
+* :mod:`~repro.routing.packets` — the control-packet taxonomy with sizes;
+* :mod:`~repro.routing.table` — per-destination next-hop routing tables;
+* :mod:`~repro.routing.flood` — duplicate suppression for flooded packets;
+* :mod:`~repro.routing.pending` — source-side buffers while discovery runs;
+* :mod:`~repro.routing.base` — the :class:`RoutingProtocol` contract and
+  the data-plane plumbing every protocol shares.
+
+Use :func:`repro.routing.registry.create_protocol` to instantiate a
+protocol by its paper name (``"rica"``, ``"bgca"``, ``"abr"``, ``"aodv"``,
+``"link_state"``).
+"""
+
+from repro.routing.base import RoutingProtocol, ProtocolConfig
+from repro.routing.table import RouteEntry, RoutingTable
+from repro.routing.flood import FloodCache
+from repro.routing.pending import PendingBuffers
+from repro.routing.registry import create_protocol, available_protocols
+
+__all__ = [
+    "RoutingProtocol",
+    "ProtocolConfig",
+    "RouteEntry",
+    "RoutingTable",
+    "FloodCache",
+    "PendingBuffers",
+    "create_protocol",
+    "available_protocols",
+]

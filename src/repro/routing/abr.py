@@ -1,0 +1,229 @@
+"""ABR — associativity-based routing (paper baseline).
+
+ABR [6], [10], [12] selects *long-lived* routes: every terminal beacons
+periodically, and each receiver counts "associativity ticks" per
+neighbour; a link whose tick count exceeds a threshold is considered
+stable (the terminal has dwelt in range long enough that it is likely to
+stay).  Route selection (destination side) prefers, lexicographically:
+
+1. the route with the highest fraction of associatively-stable links,
+2. then the lowest total load along the route (queue occupancy — "ABR
+   takes the load ... into consideration when selecting the route (by not
+   choosing links with heavy load)"),
+3. then the fewest hops.
+
+On a link break, the node upstream of the break runs a TTL-limited
+*localized query* (LQ) for a partial route to the destination while data
+packets queue behind it — the queueing that makes ABR's delay grow with
+mobility in Figure 2.  If the LQ fails, a route notification (RN) travels
+back to the source, which re-floods a full BQ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.metrics.collector import DropReason
+from repro.net.packet import DataPacket
+from repro.routing.base import OnDemandProtocol, ProtocolConfig
+from repro.routing.packets import Beacon, RouteNotification, RouteRequest, RouteReply
+from repro.sim.timers import PeriodicTimer
+
+__all__ = ["AbrProtocol", "AbrConfig"]
+
+
+@dataclass
+class AbrConfig(ProtocolConfig):
+    """ABR adds beaconing and stability tunables to the shared config."""
+
+    beacon_interval_s: float = 1.0
+    stability_threshold_ticks: int = 4
+    neighbor_timeout_s: float = 2.5
+    lq_timeout_s: float = 0.3
+    lq_ttl_slack: int = 2
+
+
+class AbrProtocol(OnDemandProtocol):
+    """Associativity-based routing."""
+
+    name = "abr"
+    uses_csi = False
+    #: ABR's stability-fraction metric is not additive, so pointer
+    #: refinement could create reply-forwarding cycles; keep the (provably
+    #: acyclic) first-copy reverse tree instead.
+    refinement_safe = False
+
+    def __init__(self, node, network, metrics, config=None) -> None:
+        super().__init__(node, network, metrics, config or AbrConfig())
+        if not isinstance(self.config, AbrConfig):
+            # Accept a plain ProtocolConfig: keep its shared fields, take
+            # ABR defaults for the protocol-specific ones.
+            merged = AbrConfig()
+            merged.__dict__.update(self.config.__dict__)
+            self.config = merged
+        #: neighbour -> (ticks, last_beacon_time)
+        self._assoc: Dict[int, Tuple[int, float]] = {}
+        self._beacon_timer: Optional[PeriodicTimer] = None
+        #: dest -> (lq timer handle, bcast_id)
+        self._local_queries: Dict[int, Tuple[object, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Beaconing / associativity
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        interval = self.config.beacon_interval_s
+        self._beacon_timer = PeriodicTimer(
+            self.sim,
+            interval,
+            self._send_beacon,
+            start_delay=self.rng.uniform(0.0, interval),
+        ).start()
+
+    def stop(self) -> None:
+        if self._beacon_timer is not None:
+            self._beacon_timer.cancel()
+
+    def _send_beacon(self) -> None:
+        self.broadcast_control(Beacon(self.sim.now, origin=self.node.id))
+
+    def on_beacon(self, beacon: Beacon, from_id: int) -> None:
+        now = self.sim.now
+        ticks, last = self._assoc.get(from_id, (0, now))
+        if now - last > self.config.neighbor_timeout_s:
+            ticks = 0  # the neighbour left and came back: associativity resets
+        self._assoc[from_id] = (ticks + 1, now)
+
+    def ticks_for(self, neighbor: int) -> int:
+        """Current associativity tick count for ``neighbor``."""
+        ticks, last = self._assoc.get(neighbor, (0, -1e18))
+        if self.sim.now - last > self.config.neighbor_timeout_s:
+            return 0
+        return ticks
+
+    def is_stable(self, neighbor: int) -> bool:
+        """True if the link to ``neighbor`` is associatively stable."""
+        return self.ticks_for(neighbor) >= self.config.stability_threshold_ticks
+
+    # ------------------------------------------------------------------
+    # Route selection: stability first, then load, then hops
+    # ------------------------------------------------------------------
+    def request_metric(
+        self, rreq: RouteRequest, hops: int, csi: float, bottleneck_bw: float
+    ) -> tuple:
+        # ``rreq`` accumulators already include the arrival link (see
+        # on_rreq below), so the metric reads them directly.
+        stable_fraction = rreq.stable_links / max(hops, 1)
+        return (-stable_fraction, rreq.load_sum, hops)
+
+    def on_rreq(self, rreq: RouteRequest, from_id: int) -> None:
+        # Fold the arrival link's associativity and this node's load into
+        # the accumulators before the shared logic computes metrics and
+        # relays; the copy keeps the shared object unmutated.
+        rreq = rreq.relay_copy(self.sim.now)
+        if self.is_stable(from_id):
+            rreq.stable_links += 1
+        rreq.load_sum += self.node.datalink.total_queued() if self.node.datalink else 0
+        super().on_rreq(rreq, from_id)
+
+    def make_rreq(self, dest: int, bcast_id: int) -> RouteRequest:
+        return RouteRequest(self.sim.now, self.node.id, dest, bcast_id, query_kind="full")
+
+    # ------------------------------------------------------------------
+    # Link break: localized query, then RN to source
+    # ------------------------------------------------------------------
+    def handle_link_failure(
+        self, next_hop: int, packet: DataPacket, queued: List[DataPacket]
+    ) -> None:
+        now = self.sim.now
+        affected = self.table.invalidate_via(next_hop)
+        self._assoc.pop(next_hop, None)  # associativity is void once it left
+        for pkt in [packet] + queued:
+            self.pending.hold(pkt, now)  # data waits while the LQ runs
+        dests = set(affected) | {pkt.dst for pkt in [packet] + queued}
+        for dest in dests:
+            if dest == self.node.id:
+                continue
+            self._start_local_query(dest)
+
+    def _start_local_query(self, dest: int) -> None:
+        if dest in self._local_queries:
+            return
+        entry = self.table.entry(dest)
+        remaining = int(entry.hops) if entry is not None else 3
+        ttl = max(remaining + self.config.lq_ttl_slack, 2)
+        bcast_id = self.next_bcast_id()
+        lq = RouteRequest(
+            self.sim.now,
+            origin=self.node.id,
+            target=dest,
+            bcast_id=bcast_id,
+            ttl=ttl,
+            query_kind="local",
+        )
+        self.flood_cache.check_and_add(lq.flood_key)
+        self.broadcast_control(lq)
+        self.metrics.record_event("abr_local_query")
+        timer = self.sim.schedule(self.config.lq_timeout_s, self._lq_timeout, dest)
+        self._local_queries[dest] = (timer, bcast_id)
+
+    def _lq_timeout(self, dest: int) -> None:
+        state = self._local_queries.pop(dest, None)
+        if state is None:
+            return
+        if self.table.get_valid(dest, self.sim.now) is not None:
+            return  # the LQ repaired the route in time
+        self.metrics.record_event("abr_lq_failed")
+        # Tell each source; transit packets we were holding are lost, our
+        # own packets go back to pending awaiting the full re-discovery.
+        packets = self.pending.release(dest, self.sim.now)
+        reported: set = set()
+        for pkt in packets:
+            if pkt.src == self.node.id:
+                self.pending.hold(pkt, self.sim.now)
+            else:
+                self.drop_data(pkt, DropReason.LINK_FAILURE)
+        for pkt in packets:
+            self.drop_or_report(pkt.src, pkt.dst, reported)
+
+    def drop_or_report(self, src: int, dst: int, reported: set) -> None:
+        """Send one RN per broken flow back toward the source."""
+        if (src, dst) in reported:
+            return
+        reported.add((src, dst))
+        if src == self.node.id:
+            self.start_discovery(dst)
+            return
+        upstream = self.flow_upstream.get((src, dst))
+        if upstream is not None:
+            rn = RouteNotification(
+                self.sim.now, src, dst, reporter=self.node.id, unicast_to=upstream
+            )
+            self.broadcast_control(rn)
+
+    def on_rn(self, rn: RouteNotification, from_id: int) -> None:
+        """Route notification travelling back to the source."""
+        self.table.invalidate(rn.flow_dst)
+        if self.node.id == rn.flow_src:
+            self.metrics.record_event("abr_rn_reached_source")
+            self.start_discovery(rn.flow_dst)
+            return
+        upstream = self.flow_upstream.get((rn.flow_src, rn.flow_dst))
+        if upstream is not None:
+            relay = RouteNotification(
+                self.sim.now,
+                rn.flow_src,
+                rn.flow_dst,
+                reporter=rn.reporter,
+                unicast_to=upstream,
+            )
+            self.broadcast_control(relay)
+
+    # ------------------------------------------------------------------
+    def on_reply_reached_origin(self, rrep: RouteReply) -> None:
+        """An LQ (or BQ) reply arrived: flush held data onto the new route."""
+        state = self._local_queries.pop(rrep.target, None)
+        if state is not None and state[0] is not None:
+            state[0].cancel()
+        for pkt in self.pending.release(rrep.target, self.sim.now):
+            self.dispatch_data(pkt)

@@ -1,0 +1,55 @@
+"""AODV — ad hoc on-demand distance vector routing (paper baseline).
+
+The paper's rendition of AODV (Sections I and III): pure on-demand, plain
+hop counts, channel-state oblivious.  The destination "responds only the
+first RREQ and chooses the path this RREQ has gone through although this
+route is usually not the shortest one or some links in the route may be
+congested" — so the reply window is zero.  On a link break, the upstream
+node reports a route error toward the source, which then performs a full
+re-discovery; packets queued on the broken link are lost ("usually in AODV
+a great portion of data packets is dropped due to link break").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.metrics.collector import DropReason
+from repro.net.packet import DataPacket
+from repro.routing.base import OnDemandProtocol
+
+__all__ = ["AodvProtocol"]
+
+
+class AodvProtocol(OnDemandProtocol):
+    """AODV as characterised in the paper."""
+
+    name = "aodv"
+    uses_csi = False
+    reply_wait_s = 0.0  # destination answers the first RREQ immediately
+
+    def handle_link_failure(
+        self, next_hop: int, packet: DataPacket, queued: List[DataPacket]
+    ) -> None:
+        """Break: invalidate routes via the lost neighbour, REER upstream."""
+        affected = self.table.invalidate_via(next_hop)
+        for pkt in [packet] + queued:
+            if pkt.src == self.node.id:
+                # Source-side break: hold the packets and rediscover.
+                self.pending.hold(pkt, self.sim.now)
+            else:
+                self.drop_data(pkt, DropReason.LINK_FAILURE)
+        flows_reported = set()
+        for pkt in [packet] + queued:
+            flow = (pkt.src, pkt.dst)
+            if pkt.src != self.node.id and flow not in flows_reported:
+                flows_reported.add(flow)
+                self.send_reer(pkt.src, pkt.dst)
+        for dest in affected:
+            if self.pending.pending_count(dest) > 0:
+                self.start_discovery(dest)
+
+    def on_route_broken(self, dest: int) -> None:
+        """The source received a REER: full re-discovery (paper behaviour)."""
+        self.metrics.record_event("aodv_rediscovery")
+        self.start_discovery(dest)

@@ -1,0 +1,228 @@
+"""BGCA — bandwidth-guarded channel-adaptive routing (paper baseline).
+
+BGCA is the authors' earlier protocol [13].  Like RICA it measures CSI and
+selects channel-adaptive routes, but its maintenance is *reactive* ("a
+little passive or reactive", Section I): the route is only changed when a
+link degrades below the traffic's bandwidth requirement or breaks.
+
+Mechanics implemented here:
+
+* **Discovery** — RREQ flood accumulating CSI hop distance and the
+  bottleneck (minimum) link throughput.  The destination prefers routes
+  whose bottleneck satisfies the flow's required bandwidth; among those it
+  picks the minimum CSI distance; if none qualifies, the best bottleneck.
+* **Bandwidth guard** — every time a node forwards flow data it samples
+  the outgoing link's throughput; after ``fade_trigger_count`` consecutive
+  samples below the flow's requirement it launches a TTL-limited local
+  query (LQ) for a partial substitute route while data keeps flowing on
+  the degraded link ("only when the channel quality of the link drops
+  below the bandwidth requirement of the traffics does it take actions").
+* **Break repair** — a broken link also triggers an LQ, with data held
+  locally; if the LQ times out, a REER travels to the source which then
+  performs a full re-discovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.metrics.collector import DropReason
+from repro.net.packet import DataPacket
+from repro.routing.base import OnDemandProtocol, ProtocolConfig
+from repro.routing.packets import RouteReply, RouteRequest
+
+__all__ = ["BgcaProtocol", "BgcaConfig"]
+
+
+@dataclass
+class BgcaConfig(ProtocolConfig):
+    """BGCA's guard and local-query tunables."""
+
+    #: Consecutive below-requirement samples before a repair LQ launches.
+    fade_trigger_count: int = 2
+    #: Local query reply timeout (s).
+    lq_timeout_s: float = 0.3
+    #: Extra TTL slack beyond the remaining hop estimate for LQs.
+    lq_ttl_slack: int = 2
+    #: Minimum spacing between LQs for the same destination (s).
+    lq_cooldown_s: float = 0.5
+    #: Fallback per-flow requirement when the flow table has no entry (bps).
+    default_required_bw_bps: float = 50_000.0
+    #: Headroom multiplier on the offered load when deriving the guard
+    #: level: a Poisson flow at mean rate R needs a link comfortably above
+    #: R for its queue to stay stable, so the guard asks for 1.5x.
+    bw_guard_factor: float = 1.5
+
+
+class BgcaProtocol(OnDemandProtocol):
+    """Bandwidth-guarded channel-adaptive routing."""
+
+    name = "bgca"
+    uses_csi = True
+
+    def __init__(self, node, network, metrics, config=None) -> None:
+        super().__init__(node, network, metrics, config or BgcaConfig())
+        if not isinstance(self.config, BgcaConfig):
+            merged = BgcaConfig()
+            merged.__dict__.update(self.config.__dict__)
+            self.config = merged
+        #: dest -> consecutive below-requirement samples on the active link
+        self._fade_counts: Dict[int, int] = {}
+        #: dest -> (timer handle, started_at) for in-flight local queries
+        self._local_queries: Dict[int, Tuple[object, float]] = {}
+        self._last_lq_at: Dict[int, float] = {}
+        #: dest -> required bandwidth learned from RREP relays
+        self._required_bw: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Requirement bookkeeping
+    # ------------------------------------------------------------------
+    def required_bw_for(self, dest: int) -> float:
+        """The guard level for traffic toward ``dest`` (bps)."""
+        own = self.config.flow_rates_bps.get((self.node.id, dest))
+        if own is not None:
+            return own * self.config.bw_guard_factor
+        learned = self._required_bw.get(dest)
+        if learned:
+            return learned  # already includes the factor (set by the source)
+        return self.config.default_required_bw_bps
+
+    # ------------------------------------------------------------------
+    # Discovery policy
+    # ------------------------------------------------------------------
+    def make_rreq(self, dest: int, bcast_id: int) -> RouteRequest:
+        return RouteRequest(
+            self.sim.now,
+            self.node.id,
+            dest,
+            bcast_id,
+            required_bw_bps=self.required_bw_for(dest),
+        )
+
+    def request_metric(
+        self, rreq: RouteRequest, hops: int, csi: float, bottleneck_bw: float
+    ) -> tuple:
+        """Guarded selection: satisfying routes first, then CSI distance.
+
+        A route whose bottleneck throughput satisfies the flow's required
+        bandwidth always beats one that does not; unsatisfying routes are
+        ranked by bottleneck first so the least-bad route wins when nothing
+        qualifies.
+        """
+        if bottleneck_bw >= rreq.required_bw_bps:
+            return (0, csi, 0.0)
+        return (1, -bottleneck_bw, csi)
+
+    def on_rrep(self, rrep: RouteReply, from_id: int) -> None:
+        if rrep.required_bw_bps > 0:
+            self._required_bw[rrep.target] = rrep.required_bw_bps
+        super().on_rrep(rrep, from_id)
+
+    # ------------------------------------------------------------------
+    # The bandwidth guard (sender-side monitoring)
+    # ------------------------------------------------------------------
+    def dispatch_data(self, packet: DataPacket) -> None:
+        now = self.sim.now
+        entry = self.table.get_valid(packet.dst, now, self.config.route_idle_timeout_s)
+        if entry is None:
+            self.on_no_route(packet)
+            return
+        rate = self.channel.throughput_bps(self.node.id, entry.next_hop, now)
+        required = self.required_bw_for(packet.dst)
+        if rate < required:
+            count = self._fade_counts.get(packet.dst, 0) + 1
+            self._fade_counts[packet.dst] = count
+            if count >= self.config.fade_trigger_count:
+                self._maybe_start_local_query(packet.dst, reason="deep_fade")
+        else:
+            self._fade_counts[packet.dst] = 0
+        entry.touch(now)
+        self.send_data(packet, entry.next_hop)
+
+    # ------------------------------------------------------------------
+    # Local queries (partial route repair)
+    # ------------------------------------------------------------------
+    def _maybe_start_local_query(self, dest: int, reason: str) -> None:
+        now = self.sim.now
+        if dest in self._local_queries:
+            return
+        if now - self._last_lq_at.get(dest, -1e18) < self.config.lq_cooldown_s:
+            return
+        self._last_lq_at[dest] = now
+        entry = self.table.entry(dest)
+        remaining = int(entry.hops) if entry is not None and entry.hops else 3
+        ttl = max(remaining + self.config.lq_ttl_slack, 2)
+        lq = RouteRequest(
+            now,
+            origin=self.node.id,
+            target=dest,
+            bcast_id=self.next_bcast_id(),
+            ttl=ttl,
+            required_bw_bps=self.required_bw_for(dest),
+            query_kind="local",
+        )
+        self.flood_cache.check_and_add(lq.flood_key)
+        self.broadcast_control(lq)
+        self.metrics.record_event(f"bgca_lq_{reason}")
+        timer = self.sim.schedule(self.config.lq_timeout_s, self._lq_timeout, dest)
+        self._local_queries[dest] = (timer, now)
+
+    def _lq_timeout(self, dest: int) -> None:
+        state = self._local_queries.pop(dest, None)
+        if state is None:
+            return
+        now = self.sim.now
+        entry = self.table.get_valid(dest, now, self.config.route_idle_timeout_s)
+        if entry is not None:
+            # The old (possibly degraded) route still stands; keep using it.
+            self._flush_pending(dest)
+            return
+        # The link was broken and no substitute was found: report upstream.
+        self.metrics.record_event("bgca_lq_failed")
+        packets = self.pending.release(dest, now)
+        flows = set()
+        for pkt in packets:
+            if pkt.src == self.node.id:
+                self.pending.hold(pkt, now)
+            else:
+                self.drop_data(pkt, DropReason.LINK_FAILURE)
+                flows.add((pkt.src, pkt.dst))
+        for src, fdst in flows:
+            self.send_reer(src, fdst)
+        if self.pending.pending_count(dest) > 0:
+            self.start_discovery(dest)
+
+    def on_reply_reached_origin(self, rrep: RouteReply) -> None:
+        state = self._local_queries.pop(rrep.target, None)
+        if state is not None and state[0] is not None:
+            state[0].cancel()
+        self._fade_counts[rrep.target] = 0
+        if rrep.query_kind == "local":
+            self.metrics.record_event("bgca_lq_repaired")
+        self._flush_pending(rrep.target)
+
+    def _flush_pending(self, dest: int) -> None:
+        for pkt in self.pending.release(dest, self.sim.now):
+            self.dispatch_data(pkt)
+
+    # ------------------------------------------------------------------
+    # Link breaks
+    # ------------------------------------------------------------------
+    def handle_link_failure(
+        self, next_hop: int, packet: DataPacket, queued: List[DataPacket]
+    ) -> None:
+        now = self.sim.now
+        self.table.invalidate_via(next_hop)
+        dests = set()
+        for pkt in [packet] + queued:
+            self.pending.hold(pkt, now)
+            dests.add(pkt.dst)
+        for dest in dests:
+            if dest != self.node.id:
+                self._maybe_start_local_query(dest, reason="break")
+
+    def on_route_broken(self, dest: int) -> None:
+        """Source-side REER: full re-discovery."""
+        self.metrics.record_event("bgca_rediscovery")
+        self.start_discovery(dest)

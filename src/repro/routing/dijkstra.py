@@ -1,0 +1,80 @@
+"""Dijkstra shortest paths over a directed adjacency map.
+
+Used by the link-state protocol: each terminal runs Dijkstra over its own
+(possibly stale) link-state database with CSI hop-distance costs — "when a
+mobile terminal need to forward packets, it uses this algorithm to compute
+the next hop" (paper Section III-E).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+__all__ = ["shortest_paths", "next_hops", "path_to"]
+
+Graph = Mapping[Hashable, Mapping[Hashable, float]]
+
+
+def shortest_paths(
+    graph: Graph, source: Hashable
+) -> Tuple[Dict[Hashable, float], Dict[Hashable, Hashable]]:
+    """Single-source shortest paths.
+
+    Args:
+        graph: ``{u: {v: cost}}`` directed adjacency; infinite or negative
+            costs are skipped (infinite marks withdrawn links).
+        source: start node.
+
+    Returns:
+        ``(dist, parent)`` — distance map and shortest-path-tree parents
+        (absent keys are unreachable).
+    """
+    dist: Dict[Hashable, float] = {source: 0.0}
+    parent: Dict[Hashable, Hashable] = {}
+    visited = set()
+    heap: List[Tuple[float, int, Hashable]] = [(0.0, 0, source)]
+    counter = 0  # tie-break for non-comparable node types
+    while heap:
+        d, _, u = heapq.heappop(heap)
+        if u in visited:
+            continue
+        visited.add(u)
+        for v, cost in graph.get(u, {}).items():
+            if cost < 0 or math.isinf(cost) or v in visited:
+                continue
+            nd = d + cost
+            if nd < dist.get(v, math.inf):
+                dist[v] = nd
+                parent[v] = u
+                counter += 1
+                heapq.heappush(heap, (nd, counter, v))
+    return dist, parent
+
+
+def next_hops(graph: Graph, source: Hashable) -> Dict[Hashable, Hashable]:
+    """First hop from ``source`` toward every reachable destination."""
+    _, parent = shortest_paths(graph, source)
+    result: Dict[Hashable, Hashable] = {}
+    for dest in parent:
+        hop = dest
+        while parent.get(hop) != source:
+            hop = parent.get(hop)
+            if hop is None:  # pragma: no cover - defensive
+                break
+        if hop is not None:
+            result[dest] = hop
+    return result
+
+
+def path_to(graph: Graph, source: Hashable, dest: Hashable) -> Optional[List[Hashable]]:
+    """Full shortest path from ``source`` to ``dest``, or None."""
+    dist, parent = shortest_paths(graph, source)
+    if dest not in dist:
+        return None
+    path = [dest]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path

@@ -1,0 +1,44 @@
+"""Duplicate suppression for flooded packets.
+
+The paper's history table: "Any intermediate terminal receiving this RREQ
+first checks whether it has seen this packet before by looking up its
+history table ... If yes, this packet is discarded."  :class:`FloodCache`
+implements that check for any hashable flood key, with size-bounded
+pruning so long runs do not grow memory without bound.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+__all__ = ["FloodCache"]
+
+
+class FloodCache:
+    """A bounded set of already-seen flood keys (insertion-ordered)."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self._seen: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._max_entries = max(max_entries, 16)
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._seen
+
+    def check_and_add(self, key: Hashable) -> bool:
+        """Return True if ``key`` is new (and record it), False if seen."""
+        if key in self._seen:
+            return False
+        self._seen[key] = None
+        if len(self._seen) > self._max_entries:
+            # Drop the oldest quarter in one go (amortised O(1) per add).
+            for _ in range(self._max_entries // 4):
+                self._seen.popitem(last=False)
+        return True
+
+    def clear(self) -> None:
+        """Forget all recorded keys."""
+        self._seen.clear()

@@ -1,0 +1,92 @@
+"""Source-side pending buffers: data waiting for route discovery.
+
+When a source (or a node running a localized query) has packets for a
+destination it currently has no route to, the packets wait here.  The
+buffers enforce the same 3-second maximum residence as the data-plane
+queues, and a bounded capacity; drops are reported to metrics with
+dedicated reasons so loss attribution stays faithful to the paper's
+discussion (congestion loss vs. route-outage loss).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.metrics.collector import DropReason, MetricsCollector
+from repro.net.packet import DataPacket
+from repro.net.queue import DropTailQueue, QueueDrop
+
+__all__ = ["PendingBuffers"]
+
+
+class PendingBuffers:
+    """Per-destination holding buffers for route-less data packets."""
+
+    def __init__(
+        self,
+        metrics: MetricsCollector,
+        capacity: int = 50,
+        max_residence_s: float = 3.0,
+    ) -> None:
+        self._metrics = metrics
+        self._capacity = capacity
+        self._max_residence = max_residence_s
+        self._buffers: Dict[int, DropTailQueue] = {}
+
+    def _buffer_for(self, dest: int) -> DropTailQueue:
+        buf = self._buffers.get(dest)
+        if buf is None:
+            buf = DropTailQueue(
+                self._capacity, self._max_residence, on_drop=self._record_drop
+            )
+            self._buffers[dest] = buf
+        return buf
+
+    def _record_drop(self, packet: DataPacket, reason: QueueDrop) -> None:
+        if reason is QueueDrop.FULL:
+            self._metrics.record_dropped(packet, DropReason.PENDING_OVERFLOW)
+        elif reason is QueueDrop.EXPIRED:
+            self._metrics.record_dropped(packet, DropReason.PENDING_TIMEOUT)
+
+    # ------------------------------------------------------------------
+    def hold(self, packet: DataPacket, now: float) -> bool:
+        """Buffer ``packet`` until a route to its destination appears."""
+        return self._buffer_for(packet.dst).push(packet, now)
+
+    def hold_for(self, dest: int, packet: DataPacket, now: float) -> bool:
+        """Buffer a packet under an explicit destination key."""
+        return self._buffer_for(dest).push(packet, now)
+
+    def release(self, dest: int, now: float) -> List[DataPacket]:
+        """Pop all non-expired packets waiting for ``dest`` (FCFS order)."""
+        buf = self._buffers.get(dest)
+        if buf is None:
+            return []
+        buf.expire(now)
+        packets = []
+        while True:
+            pkt = buf.pop(now)
+            if pkt is None:
+                break
+            packets.append(pkt)
+        return packets
+
+    def drop_all(self, dest: int, reason: DropReason) -> int:
+        """Discard everything waiting for ``dest``; returns the count."""
+        buf = self._buffers.get(dest)
+        if buf is None:
+            return 0
+        packets = buf.flush()
+        for pkt in packets:
+            self._metrics.record_dropped(pkt, reason)
+        return len(packets)
+
+    def pending_count(self, dest: int) -> int:
+        """Packets currently waiting for ``dest``."""
+        buf = self._buffers.get(dest)
+        return len(buf) if buf is not None else 0
+
+    def expire(self, now: float) -> None:
+        """Apply the residence rule across all buffers."""
+        for buf in self._buffers.values():
+            buf.expire(now)

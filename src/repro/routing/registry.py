@@ -1,0 +1,56 @@
+"""Protocol registry: build any of the paper's five protocols by name."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.errors import ConfigurationError
+from repro.metrics.collector import MetricsCollector
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.routing.base import ProtocolConfig, RoutingProtocol
+
+__all__ = ["create_protocol", "available_protocols", "protocol_class"]
+
+
+def _registry() -> Dict[str, Type[RoutingProtocol]]:
+    # Imported lazily to avoid import cycles (core imports routing.base).
+    from repro.core.rica import RicaProtocol
+    from repro.routing.abr import AbrProtocol
+    from repro.routing.aodv import AodvProtocol
+    from repro.routing.bgca import BgcaProtocol
+    from repro.routing.link_state import LinkStateProtocol
+
+    return {
+        "rica": RicaProtocol,
+        "bgca": BgcaProtocol,
+        "abr": AbrProtocol,
+        "aodv": AodvProtocol,
+        "link_state": LinkStateProtocol,
+    }
+
+
+def available_protocols() -> list:
+    """Names of all implemented protocols (paper order)."""
+    return ["rica", "bgca", "abr", "aodv", "link_state"]
+
+
+def protocol_class(name: str) -> Type[RoutingProtocol]:
+    """The protocol class registered under ``name``."""
+    try:
+        return _registry()[name]
+    except KeyError:
+        known = ", ".join(sorted(_registry()))
+        raise ConfigurationError(f"unknown protocol {name!r}; known: {known}") from None
+
+
+def create_protocol(
+    name: str,
+    node: Node,
+    network: Network,
+    metrics: MetricsCollector,
+    config: Optional[ProtocolConfig] = None,
+) -> RoutingProtocol:
+    """Instantiate protocol ``name`` on ``node`` (and attach it)."""
+    cls = protocol_class(name)
+    return cls(node, network, metrics, config)

@@ -1,0 +1,116 @@
+"""Per-destination next-hop routing tables.
+
+Every on-demand protocol in the paper keeps, per destination, a single
+next-hop entry plus bookkeeping (hop count, CSI distance, validity,
+last-use time).  RICA's 1-second disuse expiry (Section II-C: the original
+route "automatically expires" when unused for the timeout period) is
+implemented by :meth:`RoutingTable.get_valid`'s ``max_idle`` check —
+expiry is lazy, so no timer per route is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["RouteEntry", "RoutingTable"]
+
+
+@dataclass
+class RouteEntry:
+    """One next-hop route toward a destination."""
+
+    next_hop: int
+    hops: float = 0.0
+    csi_distance: float = 0.0
+    valid: bool = True
+    established_at: float = 0.0
+    last_used: float = 0.0
+
+    def touch(self, now: float) -> None:
+        """Record a use of this route (data forwarded through it)."""
+        self.last_used = now
+
+
+class RoutingTable:
+    """Destination → :class:`RouteEntry` map with lazy idle expiry."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, RouteEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, dest: int) -> bool:
+        return dest in self._entries
+
+    def entry(self, dest: int) -> Optional[RouteEntry]:
+        """Raw entry for ``dest`` (may be invalid); None if absent."""
+        return self._entries.get(dest)
+
+    def get_valid(
+        self, dest: int, now: float, max_idle: Optional[float] = None
+    ) -> Optional[RouteEntry]:
+        """Valid entry for ``dest``, applying the idle-expiry rule.
+
+        Args:
+            dest: destination id.
+            now: current time.
+            max_idle: if set and the route has been idle longer than this
+                since its last use (or establishment), it is invalidated
+                and None is returned (RICA's 1 s rule).
+        """
+        entry = self._entries.get(dest)
+        if entry is None or not entry.valid:
+            return None
+        if max_idle is not None:
+            reference = max(entry.last_used, entry.established_at)
+            if now - reference > max_idle:
+                entry.valid = False
+                return None
+        return entry
+
+    def set_route(
+        self,
+        dest: int,
+        next_hop: int,
+        now: float,
+        hops: float = 0.0,
+        csi_distance: float = 0.0,
+    ) -> RouteEntry:
+        """Install (or replace) the route toward ``dest``."""
+        entry = RouteEntry(
+            next_hop=next_hop,
+            hops=hops,
+            csi_distance=csi_distance,
+            valid=True,
+            established_at=now,
+            last_used=now,
+        )
+        self._entries[dest] = entry
+        return entry
+
+    def invalidate(self, dest: int) -> bool:
+        """Mark the route toward ``dest`` invalid.  Returns True if it was valid."""
+        entry = self._entries.get(dest)
+        if entry is not None and entry.valid:
+            entry.valid = False
+            return True
+        return False
+
+    def invalidate_via(self, next_hop: int) -> List[int]:
+        """Invalidate every valid route using ``next_hop``; return the dests."""
+        affected = []
+        for dest, entry in self._entries.items():
+            if entry.valid and entry.next_hop == next_hop:
+                entry.valid = False
+                affected.append(dest)
+        return affected
+
+    def valid_destinations(self, now: float, max_idle: Optional[float] = None) -> List[int]:
+        """Destinations currently reachable through this table."""
+        return [d for d in list(self._entries) if self.get_valid(d, now, max_idle) is not None]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        valid = sum(1 for e in self._entries.values() if e.valid)
+        return f"RoutingTable(entries={len(self._entries)}, valid={valid})"

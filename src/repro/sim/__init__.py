@@ -1,0 +1,20 @@
+"""Discrete-event simulation kernel.
+
+The kernel is intentionally small and dependency-free: a binary-heap event
+queue (:class:`~repro.sim.engine.Simulator`), cancellable event handles
+(:class:`~repro.sim.events.EventHandle`), deterministic named random
+streams (:class:`~repro.sim.rng.RandomStreams`) and convenience periodic
+timers (:class:`~repro.sim.timers.PeriodicTimer`).
+
+All simulated time is in **seconds** (floats).  Determinism contract: two
+runs with the same master seed and the same sequence of ``schedule`` calls
+produce identical event orderings, because ties in time are broken by a
+monotone sequence number.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import EventHandle
+from repro.sim.rng import RandomStreams
+from repro.sim.timers import PeriodicTimer
+
+__all__ = ["Simulator", "EventHandle", "RandomStreams", "PeriodicTimer"]

@@ -1,0 +1,159 @@
+"""The discrete-event simulator.
+
+A :class:`Simulator` owns a binary-heap event queue and the simulation
+clock.  Components schedule callbacks with :meth:`Simulator.schedule`
+(relative delay) or :meth:`Simulator.schedule_at` (absolute time) and the
+kernel fires them in ``(time, sequence)`` order, so same-time events run in
+the order they were scheduled — a property several protocol state machines
+rely on and the test suite pins down.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import EventHandle
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event-driven simulation kernel.
+
+    Example:
+        >>> sim = Simulator()
+        >>> fired = []
+        >>> _ = sim.schedule(1.5, fired.append, "a")
+        >>> _ = sim.schedule(0.5, fired.append, "b")
+        >>> sim.run(until=10.0)
+        >>> fired
+        ['b', 'a']
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[EventHandle] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far (for diagnostics and tests)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queue entries, including lazily-cancelled ones."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        Args:
+            delay: non-negative delay in seconds.  A delay of 0 runs the
+                callback after all events already scheduled for the current
+                instant.
+            fn: the callback.
+            *args: positional arguments passed to the callback.
+
+        Returns:
+            An :class:`EventHandle` that can cancel the event.
+
+        Raises:
+            SimulationError: if ``delay`` is negative or not a number.
+        """
+        if not (delay >= 0.0):  # also rejects NaN
+            raise SimulationError(f"cannot schedule event with delay {delay!r}")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
+        if not (time >= self._now):  # also rejects NaN
+            raise SimulationError(
+                f"cannot schedule event at t={time!r} (now={self._now!r}): time is in the past"
+            )
+        self._seq += 1
+        handle = EventHandle(time, self._seq, fn, args)
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` passes, or ``stop()``.
+
+        Args:
+            until: if given, stop once the next event would fire strictly
+                after this time; the clock is then advanced to ``until`` so
+                that ``sim.now == until`` holds after the call.
+            max_events: optional safety valve; raise SimulationError if more
+                than this many events fire (guards against runaway loops in
+                tests).
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                if self._stopped:
+                    break
+                heapq.heappop(self._queue)
+                self._now = head.time
+                head._fire()
+                self._events_processed += 1
+                fired += 1
+                if max_events is not None and fired > max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Fire exactly one pending event.  Returns False if queue is empty."""
+        while self._queue:
+            head = heapq.heappop(self._queue)
+            if head.cancelled:
+                continue
+            self._now = head.time
+            head._fire()
+            self._events_processed += 1
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, or None."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Simulator(now={self._now:.6f}, pending={len(self._queue)})"

@@ -1,0 +1,80 @@
+"""Event handles for the discrete-event kernel.
+
+An :class:`EventHandle` is returned by :meth:`repro.sim.engine.Simulator.schedule`
+and allows the caller to cancel the event before it fires.  Cancellation is
+lazy: the heap entry stays in the queue but is skipped when popped, which
+keeps cancellation O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Tuple
+
+
+class EventHandle:
+    """A scheduled callback that can be cancelled before it fires.
+
+    Attributes:
+        time: absolute simulation time at which the event fires.
+        seq: monotone tie-break sequence number assigned by the simulator.
+    """
+
+    __slots__ = ("time", "seq", "_fn", "_args", "_cancelled", "_fired")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.seq = seq
+        self._fn = fn
+        self._args = args
+        self._cancelled = False
+        self._fired = False
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` was called before the event fired."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """True once the event callback has run."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still queued and will run."""
+        return not (self._cancelled or self._fired)
+
+    def cancel(self) -> bool:
+        """Cancel the event.
+
+        Returns True if the event was pending and is now cancelled, False if
+        it had already fired or was already cancelled.  Cancelling twice is
+        harmless (idempotent), which simplifies protocol timer management.
+        """
+        if self._cancelled or self._fired:
+            return False
+        self._cancelled = True
+        self._fn = _noop  # release references early
+        self._args = ()
+        return True
+
+    def _fire(self) -> None:
+        """Run the callback (kernel-internal)."""
+        if self._cancelled:
+            return
+        self._fired = True
+        fn, args = self._fn, self._args
+        self._fn = _noop
+        self._args = ()
+        fn(*args)
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
+        return f"EventHandle(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+def _noop(*_args: Any) -> None:
+    """Placeholder callback installed after cancellation/firing."""

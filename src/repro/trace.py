@@ -1,0 +1,110 @@
+"""Structured event tracing for protocol debugging.
+
+A :class:`Tracer` collects timestamped, categorised events from the
+routing protocols (discoveries, route switches, link failures, REERs) into
+a bounded ring buffer and supports live subscription and post-hoc queries.
+Enable it per scenario with ``ScenarioConfig(enable_trace=True)`` and read
+``scenario.tracer`` after the run:
+
+    scenario = build_scenario(ScenarioConfig(enable_trace=True, ...))
+    scenario.run()
+    for event in scenario.tracer.query(category="route_switch"):
+        print(event)
+
+Tracing is off by default: the hot paths pay a single ``is None`` check.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded protocol event."""
+
+    time: float
+    category: str
+    node: int
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return f"t={self.time:9.4f}s node={self.node:3d} {self.category}" + (
+            f" [{extra}]" if extra else ""
+        )
+
+
+class Tracer:
+    """Bounded in-memory event log with subscriptions and queries."""
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"tracer capacity must be positive, got {capacity}")
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._subscribers: List[Callable[[TraceEvent], None]] = []
+        self.counts: Counter = Counter()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def emit(self, time: float, category: str, node: int, **fields: object) -> TraceEvent:
+        """Record an event (and fan it out to live subscribers)."""
+        event = TraceEvent(time, category, node, fields)
+        self._events.append(event)
+        self.counts[category] += 1
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    def subscribe(self, fn: Callable[[TraceEvent], None]) -> Callable[[], None]:
+        """Register a live callback; returns an unsubscribe function."""
+        self._subscribers.append(fn)
+
+        def unsubscribe() -> None:
+            if fn in self._subscribers:
+                self._subscribers.remove(fn)
+
+        return unsubscribe
+
+    def query(
+        self,
+        category: Optional[str] = None,
+        node: Optional[int] = None,
+        since: float = 0.0,
+        until: Optional[float] = None,
+    ) -> Iterator[TraceEvent]:
+        """Iterate recorded events, oldest first, with optional filters."""
+        for event in self._events:
+            if category is not None and event.category != category:
+                continue
+            if node is not None and event.node != node:
+                continue
+            if event.time < since:
+                continue
+            if until is not None and event.time > until:
+                continue
+            yield event
+
+    def last(self, category: Optional[str] = None) -> Optional[TraceEvent]:
+        """The most recent (matching) event, or None."""
+        for event in reversed(self._events):
+            if category is None or event.category == category:
+                return event
+        return None
+
+    def summary(self) -> str:
+        """Per-category counts, one line each."""
+        lines = [f"{count:7d}  {category}" for category, count in self.counts.most_common()]
+        return "\n".join(lines) if lines else "(no events)"
+
+    def clear(self) -> None:
+        """Forget everything recorded so far."""
+        self._events.clear()
+        self.counts.clear()

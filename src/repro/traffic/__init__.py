@@ -1,0 +1,11 @@
+"""Traffic generation (paper Section III-A).
+
+Ten source-destination pairs; each source generates 512-byte data packets
+following a Poisson arrival process (exponential inter-arrival times) at
+10, 20 or 60 packets per second depending on the experiment.
+"""
+
+from repro.traffic.poisson import PoissonSource
+from repro.traffic.pairs import Flow, choose_flows
+
+__all__ = ["PoissonSource", "Flow", "choose_flows"]

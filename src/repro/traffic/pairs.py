@@ -1,0 +1,62 @@
+"""Flow definitions and random pair selection."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Flow", "choose_flows"]
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One unidirectional traffic flow."""
+
+    flow_id: int
+    src: int
+    dst: int
+    rate_pps: float
+    packet_bytes: int = 512
+
+    @property
+    def rate_bps(self) -> float:
+        """Offered load in bits per second."""
+        return self.rate_pps * self.packet_bytes * 8
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ConfigurationError(f"flow {self.flow_id}: src == dst == {self.src}")
+        if self.rate_pps <= 0:
+            raise ConfigurationError(f"flow {self.flow_id}: rate must be positive")
+
+
+def choose_flows(
+    n_flows: int,
+    n_nodes: int,
+    rate_pps: float,
+    rng: random.Random,
+    packet_bytes: int = 512,
+) -> List[Flow]:
+    """Pick ``n_flows`` distinct source-destination pairs uniformly.
+
+    Sources are distinct from each other (one flow per source terminal,
+    like the paper's "10 terminal pairs"), and every destination differs
+    from its source.
+    """
+    if n_flows <= 0:
+        raise ConfigurationError(f"n_flows must be positive, got {n_flows}")
+    if n_nodes < 2:
+        raise ConfigurationError(f"need at least 2 nodes, got {n_nodes}")
+    if n_flows > n_nodes:
+        raise ConfigurationError(f"cannot pick {n_flows} distinct sources from {n_nodes} nodes")
+    sources = rng.sample(range(n_nodes), n_flows)
+    flows = []
+    for i, src in enumerate(sources):
+        dst = rng.randrange(n_nodes)
+        while dst == src:
+            dst = rng.randrange(n_nodes)
+        flows.append(Flow(flow_id=i, src=src, dst=dst, rate_pps=rate_pps, packet_bytes=packet_bytes))
+    return flows

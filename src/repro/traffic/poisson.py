@@ -1,0 +1,73 @@
+"""Poisson packet sources."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.metrics.collector import MetricsCollector
+from repro.net.node import Node
+from repro.net.packet import DataPacket
+from repro.sim.engine import Simulator
+from repro.traffic.pairs import Flow
+
+__all__ = ["PoissonSource"]
+
+
+class PoissonSource:
+    """Generates one flow's packets with exponential inter-arrival times.
+
+    The source stops scheduling new arrivals at ``until`` (generation stops
+    at the end of the measured window; packets already in flight may still
+    be delivered).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        flow: Flow,
+        rng: random.Random,
+        metrics: MetricsCollector,
+        until: Optional[float] = None,
+    ) -> None:
+        self._sim = sim
+        self._node = node
+        self._flow = flow
+        self._rng = rng
+        self._metrics = metrics
+        self._until = until
+        self._seq = 0
+        self.generated = 0
+
+    @property
+    def flow(self) -> Flow:
+        """The flow this source drives."""
+        return self._flow
+
+    def start(self) -> None:
+        """Schedule the first arrival."""
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = self._rng.expovariate(self._flow.rate_pps)
+        t = self._sim.now + gap
+        if self._until is not None and t > self._until:
+            return
+        self._sim.schedule(gap, self._emit)
+
+    def _emit(self) -> None:
+        self._seq += 1
+        self.generated += 1
+        packet = DataPacket(
+            src=self._flow.src,
+            dst=self._flow.dst,
+            seq=self._seq,
+            created_at=self._sim.now,
+            size_bytes=self._flow.packet_bytes,
+            flow_id=self._flow.flow_id,
+        )
+        self._metrics.record_generated(packet)
+        if self._node.routing is not None:
+            self._node.routing.handle_app_packet(packet)
+        self._schedule_next()

@@ -1,0 +1,144 @@
+"""Behavioural tests for ABR on staged topologies."""
+
+import pytest
+
+from repro.routing.abr import AbrConfig
+from repro.routing.packets import Beacon, RouteRequest
+
+from tests.helpers import attach_protocols, build_static_network, send_app_packet
+
+
+class TestAssociativity:
+    def test_beacons_broadcast_periodically(self, sim, streams):
+        network, metrics = build_static_network(sim, streams, [(0, 0), (100, 0)])
+        attach_protocols(network, metrics, "abr")
+        sim.run(until=5.0)
+        # Two nodes, ~1 beacon/s each.
+        assert 8 <= metrics.control_tx_count["beacon"] <= 12
+
+    def test_ticks_accumulate(self, sim, streams):
+        network, metrics = build_static_network(sim, streams, [(0, 0), (100, 0)])
+        protos = attach_protocols(network, metrics, "abr")
+        sim.run(until=6.0)
+        assert protos[0].ticks_for(1) >= 4
+        assert protos[0].is_stable(1)
+
+    def test_ticks_stale_without_beacons(self, sim, streams):
+        network, metrics = build_static_network(sim, streams, [(0, 0), (100, 0)])
+        protos = attach_protocols(network, metrics, "abr")
+        sim.run(until=6.0)
+        assert protos[0].is_stable(1)
+        # Silence node 1's beacons and let the timeout pass.
+        protos[1].stop()
+        sim.run(until=12.0)
+        assert protos[0].ticks_for(1) == 0
+        assert not protos[0].is_stable(1)
+
+    def test_unknown_neighbour_not_stable(self, sim, streams):
+        network, metrics = build_static_network(sim, streams, [(0, 0), (100, 0)])
+        protos = attach_protocols(network, metrics, "abr")
+        assert protos[0].ticks_for(99) == 0
+        assert not protos[0].is_stable(99)
+
+
+class TestRouteSelection:
+    def test_metric_prefers_stability_over_hops(self, sim, streams):
+        network, metrics = build_static_network(sim, streams, [(0, 0), (100, 0)])
+        proto = attach_protocols(network, metrics, "abr")[0]
+        stable = RouteRequest(0.0, 0, 9, 1)
+        stable.stable_links = 3
+        stable.load_sum = 5
+        unstable = RouteRequest(0.0, 0, 9, 1)
+        unstable.stable_links = 0
+        unstable.load_sum = 0
+        m_stable = proto.request_metric(stable, hops=3, csi=0.0, bottleneck_bw=1.0)
+        m_unstable = proto.request_metric(unstable, hops=2, csi=0.0, bottleneck_bw=1.0)
+        assert m_stable < m_unstable
+
+    def test_metric_breaks_stability_ties_by_load_then_hops(self, sim, streams):
+        network, metrics = build_static_network(sim, streams, [(0, 0), (100, 0)])
+        proto = attach_protocols(network, metrics, "abr")[0]
+        light = RouteRequest(0.0, 0, 9, 1)
+        light.stable_links = 2
+        light.load_sum = 1
+        heavy = RouteRequest(0.0, 0, 9, 1)
+        heavy.stable_links = 2
+        heavy.load_sum = 9
+        assert proto.request_metric(light, 2, 0.0, 1.0) < proto.request_metric(
+            heavy, 2, 0.0, 1.0
+        )
+
+    def test_multihop_delivery(self, sim, streams):
+        network, metrics = build_static_network(
+            sim, streams, [(i * 150.0, 0.0) for i in range(4)]
+        )
+        attach_protocols(network, metrics, "abr")
+        send_app_packet(network, metrics, 0, 3)
+        sim.run(until=3.0)
+        assert metrics.delivered == 1
+
+    def test_prefers_stable_route_after_warmup(self, sim, streams):
+        """Diamond 0-{1,3}-2 where relay 3's beacons started earlier is not
+        stageable with identical static nodes, so instead verify that the
+        accumulators in a relayed BQ reflect per-link stability."""
+        network, metrics = build_static_network(
+            sim, streams, [(0, 0), (150, 0), (300, 0)]
+        )
+        protos = attach_protocols(network, metrics, "abr")
+        sim.run(until=6.0)  # beacons make 0-1 and 1-2 stable
+        captured = []
+        orig = protos[2]._collect_candidate
+
+        def spy(rreq, from_id, hops, csi, metric):
+            captured.append((rreq.stable_links, hops))
+            orig(rreq, from_id, hops, csi, metric)
+
+        protos[2]._collect_candidate = spy
+        send_app_packet(network, metrics, 0, 2)
+        sim.run(until=8.0)
+        assert metrics.delivered == 1
+        assert captured, "destination never saw the BQ"
+        stable_links, hops = captured[0]
+        assert hops == 2
+        assert stable_links == 2  # both links had >= threshold ticks
+
+
+class TestLocalQuery:
+    def test_lq_event_on_break(self, sim, streams):
+        from repro.geometry.field import Field
+        from repro.geometry.vector import Vec2
+        from repro.metrics.collector import MetricsCollector
+        from repro.mobility.path import WaypointPath
+        from repro.mobility.static import StaticPosition
+        from repro.net.network import Network
+        from repro.sim.timers import PeriodicTimer
+        from tests.helpers import make_deterministic_channel_config
+
+        metrics = MetricsCollector(100.0)
+        network = Network(
+            sim,
+            Field(5000, 5000),
+            streams,
+            metrics,
+            channel_config=make_deterministic_channel_config(),
+        )
+        network.add_node(StaticPosition(Vec2(0, 0)))  # 0 source
+        network.add_node(StaticPosition(Vec2(150, 0)))  # 1 relay
+        network.add_node(  # 2 destination drifts away from 1 but stays near 3
+            WaypointPath(
+                [(0.0, Vec2(300, 0)), (2.0, Vec2(300, 0)), (3.5, Vec2(300, 220))]
+            )
+        )
+        network.add_node(StaticPosition(Vec2(160, 150)))  # 3 alternative relay
+        attach_protocols(network, metrics, "abr")
+        seq = [0]
+
+        def tick():
+            seq[0] += 1
+            send_app_packet(network, metrics, 0, 2, seq=seq[0])
+
+        PeriodicTimer(sim, 0.1, tick, start_delay=0.0).start()
+        sim.run(until=10.0)
+        assert metrics.events.get("abr_local_query", 0) >= 1
+        # Delivery recovered after the break.
+        assert metrics.delivered > 50

@@ -1,0 +1,97 @@
+"""Unit tests for trial statistics and table rendering."""
+
+import pytest
+
+from repro.analysis.stats import (
+    aggregate_reports,
+    confidence_interval_95,
+    mean,
+    sem,
+    std,
+)
+from repro.analysis.tables import format_series, format_table
+from repro.errors import ConfigurationError
+from repro.metrics.report import MetricsReport
+
+
+def make_report(delay=100.0, pct=90.0, overhead=50.0, series=(10.0, 20.0)):
+    return MetricsReport(
+        duration=10.0,
+        generated=100,
+        delivered=90,
+        avg_delay_ms=delay,
+        delivery_pct=pct,
+        overhead_kbps=overhead,
+        avg_link_throughput_kbps=150.0,
+        avg_hops=3.0,
+        throughput_series_kbps=list(series),
+        drops={"queue_full": 5},
+    )
+
+
+class TestBasicStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_std(self):
+        assert std([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.138, rel=1e-3)
+        assert std([5]) == 0.0
+
+    def test_sem_and_ci(self):
+        values = [10.0] * 100
+        assert sem(values) == 0.0
+        lo, hi = confidence_interval_95(values)
+        assert lo == hi == 10.0
+
+    def test_ci_contains_mean(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        lo, hi = confidence_interval_95(values)
+        assert lo < mean(values) < hi
+
+
+class TestAggregation:
+    def test_means_across_trials(self):
+        agg = aggregate_reports([make_report(delay=100.0), make_report(delay=200.0)])
+        assert agg.trials == 2
+        assert agg.avg_delay_ms == 150.0
+        assert agg.avg_delay_ms_std == pytest.approx(70.71, rel=1e-3)
+
+    def test_series_elementwise_mean(self):
+        agg = aggregate_reports(
+            [make_report(series=(10.0, 20.0)), make_report(series=(30.0, 40.0))]
+        )
+        assert agg.throughput_series_kbps == [20.0, 30.0]
+
+    def test_ragged_series(self):
+        agg = aggregate_reports(
+            [make_report(series=(10.0,)), make_report(series=(30.0, 40.0))]
+        )
+        assert agg.throughput_series_kbps == [20.0, 40.0]
+
+    def test_drop_means(self):
+        agg = aggregate_reports([make_report(), make_report()])
+        assert agg.drops["queue_full"] == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_reports([])
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [[1, 2.5], [10, 20.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert "2.5" in text and "20.2" in text  # one decimal for floats
+
+    def test_format_series_downsamples(self):
+        times = [float(i) for i in range(100)]
+        values = [float(i) for i in range(100)]
+        text = format_series("lbl", times, values, max_points=10)
+        assert text.startswith("lbl")
+        assert len(text.splitlines()) <= 12
+
+    def test_format_series_empty(self):
+        assert "(empty)" in format_series("x", [], [])

@@ -1,0 +1,137 @@
+"""Behavioural tests for AODV on deterministic topologies."""
+
+import pytest
+
+from repro.geometry.vector import Vec2
+from repro.metrics.collector import MetricsCollector
+from repro.mobility.path import WaypointPath
+from repro.mobility.static import StaticPosition
+from repro.net.network import Network
+from repro.geometry.field import Field
+
+from tests.helpers import (
+    attach_protocols,
+    build_static_network,
+    make_deterministic_channel_config,
+    send_app_packet,
+)
+
+
+class TestDiscoveryAndDelivery:
+    def test_multihop_delivery(self, sim, streams):
+        # 0-1-2-3 line, 150 m spacing: only adjacent nodes in range.
+        network, metrics = build_static_network(
+            sim, streams, [(i * 150.0, 0.0) for i in range(4)]
+        )
+        attach_protocols(network, metrics, "aodv")
+        send_app_packet(network, metrics, src=0, dst=3)
+        sim.run(until=3.0)
+        assert metrics.delivered == 1
+        assert metrics.generated == 1
+
+    def test_direct_neighbour_delivery(self, sim, streams):
+        network, metrics = build_static_network(sim, streams, [(0, 0), (120, 0)])
+        attach_protocols(network, metrics, "aodv")
+        send_app_packet(network, metrics, 0, 1)
+        sim.run(until=2.0)
+        assert metrics.delivered == 1
+
+    def test_route_cached_for_subsequent_packets(self, sim, streams):
+        network, metrics = build_static_network(
+            sim, streams, [(i * 150.0, 0.0) for i in range(4)]
+        )
+        attach_protocols(network, metrics, "aodv")
+        send_app_packet(network, metrics, 0, 3, seq=1)
+        sim.run(until=3.0)
+        floods_before = metrics.control_tx_count["rreq"]
+        send_app_packet(network, metrics, 0, 3, seq=2)
+        sim.run(until=6.0)
+        assert metrics.delivered == 2
+        # No second flood: the route was cached.
+        assert metrics.control_tx_count["rreq"] == floods_before
+
+    def test_unreachable_destination_drops_pending(self, sim, streams):
+        network, metrics = build_static_network(
+            sim, streams, [(0, 0), (150, 0), (5000, 4000)]
+        )
+        attach_protocols(network, metrics, "aodv")
+        send_app_packet(network, metrics, 0, 2)
+        sim.run(until=5.0)
+        assert metrics.delivered == 0
+        assert sum(metrics.drops.values()) == 1
+        assert metrics.events["discovery_failed"] >= 1
+
+    def test_hop_count_recorded(self, sim, streams):
+        network, metrics = build_static_network(
+            sim, streams, [(i * 150.0, 0.0) for i in range(4)]
+        )
+        attach_protocols(network, metrics, "aodv")
+        send_app_packet(network, metrics, 0, 3)
+        sim.run(until=3.0)
+        assert metrics.hops_sum == 3  # 0-1-2-3
+
+    def test_bidirectional_flows(self, sim, streams):
+        network, metrics = build_static_network(
+            sim, streams, [(i * 150.0, 0.0) for i in range(3)]
+        )
+        attach_protocols(network, metrics, "aodv")
+        send_app_packet(network, metrics, 0, 2, seq=1)
+        send_app_packet(network, metrics, 2, 0, seq=1)
+        sim.run(until=3.0)
+        assert metrics.delivered == 2
+
+
+class TestRouteRepair:
+    def _break_network(self, sim, streams):
+        """0-1-2 line where node 1 departs at t=2 s; node 3 offers an
+        alternative path 0-3-2."""
+        metrics = MetricsCollector(100.0)
+        network = Network(
+            sim,
+            Field(5000, 5000),
+            streams,
+            metrics,
+            channel_config=make_deterministic_channel_config(),
+        )
+        network.add_node(StaticPosition(Vec2(0, 0)))  # 0 source
+        network.add_node(  # 1: relay that leaves
+            WaypointPath([(0.0, Vec2(150, 0)), (2.0, Vec2(150, 0)), (2.3, Vec2(150, 3000))])
+        )
+        network.add_node(StaticPosition(Vec2(300, 0)))  # 2 destination
+        network.add_node(StaticPosition(Vec2(150, 120)))  # 3 alternative relay
+        return network, metrics
+
+    def test_reroute_after_link_break(self, sim, streams):
+        network, metrics = self._break_network(sim, streams)
+        attach_protocols(network, metrics, "aodv")
+        send_app_packet(network, metrics, 0, 2, seq=1)
+        sim.run(until=1.5)
+        assert metrics.delivered == 1
+        # Node 1 leaves; the source harvests the break and rediscovers 0-3-2.
+        sim.run(until=4.0)
+        send_app_packet(network, metrics, 0, 2, seq=2)
+        sim.run(until=8.0)
+        assert metrics.delivered == 2
+        assert metrics.events.get("link_break_detected", 0) >= 1
+
+    def test_reer_ignored_from_non_downstream(self, sim, streams):
+        """The paper's staleness rule: REER from a stranger is ignored."""
+        from repro.routing.packets import RouteError
+
+        network, metrics = build_static_network(
+            sim, streams, [(0, 0), (150, 0), (300, 0)]
+        )
+        attach_protocols(network, metrics, "aodv")
+        send_app_packet(network, metrics, 0, 2)
+        sim.run(until=2.0)
+        assert metrics.delivered == 1
+        # Node 2 (not node 0's downstream, which is 1) claims a break.
+        reer = RouteError(sim.now, flow_src=0, flow_dst=2, reporter=2, unicast_to=0)
+        network.node(0).routing.on_reer(reer, from_id=2)
+        assert metrics.events["reer_ignored_stale"] == 1
+        # Route still valid: next packet needs no new flood.
+        floods = metrics.control_tx_count["rreq"]
+        send_app_packet(network, metrics, 0, 2, seq=2)
+        sim.run(until=4.0)
+        assert metrics.delivered == 2
+        assert metrics.control_tx_count["rreq"] == floods

@@ -1,0 +1,188 @@
+"""Unit tests for the channel subsystem: CSI, ABICM, propagation, fading."""
+
+import math
+import random
+
+import pytest
+
+from repro.channel.abicm import AbicmScheme, CLASS_THROUGHPUT_BPS
+from repro.channel.csi import ChannelClass, CsiThresholds, HOP_DISTANCE, hop_distance
+from repro.channel.fading import CompositeFadingProcess, GaussMarkovProcess
+from repro.channel.propagation import PathLossModel
+from repro.errors import ConfigurationError, SimulationError
+
+
+class TestCsi:
+    def test_classes_ordered_best_to_worst(self):
+        assert ChannelClass.A < ChannelClass.B < ChannelClass.C < ChannelClass.D
+
+    def test_hop_distances_match_paper(self):
+        assert hop_distance(ChannelClass.A) == 1.0
+        assert hop_distance(ChannelClass.B) == pytest.approx(5.0 / 3.0)
+        assert hop_distance(ChannelClass.C) == pytest.approx(10.0 / 3.0)
+        assert hop_distance(ChannelClass.D) == 5.0
+
+    def test_hop_distance_is_rate_ratio(self):
+        for cls in ChannelClass:
+            expected = CLASS_THROUGHPUT_BPS[ChannelClass.A] / CLASS_THROUGHPUT_BPS[cls]
+            assert HOP_DISTANCE[cls] == pytest.approx(expected)
+
+    def test_classify_thresholds(self):
+        th = CsiThresholds(a_db=18, b_db=12, c_db=6)
+        assert th.classify(25.0) is ChannelClass.A
+        assert th.classify(18.0) is ChannelClass.A
+        assert th.classify(17.99) is ChannelClass.B
+        assert th.classify(12.0) is ChannelClass.B
+        assert th.classify(6.0) is ChannelClass.C
+        assert th.classify(5.99) is ChannelClass.D
+        assert th.classify(-50.0) is ChannelClass.D
+
+    def test_classify_monotone_in_snr(self):
+        th = CsiThresholds()
+        snrs = [x * 0.5 for x in range(-20, 70)]
+        classes = [th.classify(s) for s in snrs]
+        assert classes == sorted(classes, reverse=True)
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CsiThresholds(a_db=10, b_db=12, c_db=6)
+
+
+class TestAbicm:
+    def test_paper_throughputs(self):
+        scheme = AbicmScheme()
+        assert scheme.throughput(ChannelClass.A) == 250_000
+        assert scheme.throughput(ChannelClass.B) == 150_000
+        assert scheme.throughput(ChannelClass.C) == 75_000
+        assert scheme.throughput(ChannelClass.D) == 50_000
+
+    def test_transmission_time(self):
+        scheme = AbicmScheme()
+        # 512-byte packet on a class-A link: 4096 bits / 250 kbps
+        assert scheme.transmission_time(ChannelClass.A, 4096) == pytest.approx(0.016384)
+        assert scheme.transmission_time(ChannelClass.D, 4096) == pytest.approx(0.08192)
+
+    def test_hop_distance_consistent_with_csi(self):
+        scheme = AbicmScheme()
+        for cls in ChannelClass:
+            assert scheme.hop_distance(cls) == pytest.approx(HOP_DISTANCE[cls])
+
+    def test_rejects_incomplete_table(self):
+        with pytest.raises(ConfigurationError):
+            AbicmScheme(throughput_bps={ChannelClass.A: 250000.0})
+
+    def test_rejects_non_monotone_table(self):
+        bad = dict(CLASS_THROUGHPUT_BPS)
+        bad[ChannelClass.D] = 500_000.0
+        with pytest.raises(ConfigurationError):
+            AbicmScheme(throughput_bps=bad)
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ConfigurationError):
+            AbicmScheme().transmission_time(ChannelClass.A, -1)
+
+
+class TestPathLoss:
+    def test_mean_snr_decreases_with_distance(self):
+        pl = PathLossModel()
+        snrs = [pl.mean_snr_db(d) for d in (30, 60, 120, 240)]
+        assert snrs == sorted(snrs, reverse=True)
+        assert snrs[0] > snrs[-1]
+
+    def test_plateau_below_reference(self):
+        pl = PathLossModel()
+        assert pl.mean_snr_db(1.0) == pl.mean_snr_db(pl.d_ref)
+
+    def test_in_range_boundary(self):
+        pl = PathLossModel(tx_range=250.0)
+        assert pl.in_range(250.0)
+        assert not pl.in_range(250.001)
+
+    def test_default_calibration_class_bands(self):
+        """With zero fading, distance bands map to classes A/B/C (conftest)."""
+        pl = PathLossModel()
+        th = CsiThresholds()
+        assert th.classify(pl.mean_snr_db(80.0)) is ChannelClass.A
+        assert th.classify(pl.mean_snr_db(130.0)) is ChannelClass.B
+        assert th.classify(pl.mean_snr_db(200.0)) is ChannelClass.C
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PathLossModel(d_ref=0)
+        with pytest.raises(ConfigurationError):
+            PathLossModel(alpha=-1)
+        with pytest.raises(ConfigurationError):
+            PathLossModel(tx_range=0)
+
+
+class TestGaussMarkov:
+    def test_stationary_statistics(self):
+        rng = random.Random(42)
+        proc = GaussMarkovProcess(sigma_db=4.0, tau_s=1.0, rng=rng)
+        samples = [proc.sample(t * 5.0) for t in range(1, 3000)]  # decorrelated
+        mean = sum(samples) / len(samples)
+        var = sum((s - mean) ** 2 for s in samples) / len(samples)
+        assert abs(mean) < 0.5
+        assert math.sqrt(var) == pytest.approx(4.0, rel=0.15)
+
+    def test_correlation_decays_with_lag(self):
+        rng = random.Random(7)
+        proc = GaussMarkovProcess(sigma_db=4.0, tau_s=1.0, rng=rng)
+        # Short-lag samples should be closer than long-lag samples on average.
+        short_diffs, long_diffs = [], []
+        t = 0.0
+        prev = proc.sample(t)
+        for _ in range(500):
+            t += 0.05
+            cur = proc.sample(t)
+            short_diffs.append(abs(cur - prev))
+            prev = cur
+        proc2 = GaussMarkovProcess(sigma_db=4.0, tau_s=1.0, rng=random.Random(8))
+        t = 0.0
+        prev = proc2.sample(t)
+        for _ in range(500):
+            t += 5.0
+            cur = proc2.sample(t)
+            long_diffs.append(abs(cur - prev))
+            prev = cur
+        assert sum(short_diffs) / len(short_diffs) < sum(long_diffs) / len(long_diffs)
+
+    def test_same_time_sample_is_cached(self):
+        proc = GaussMarkovProcess(4.0, 1.0, random.Random(1))
+        a = proc.sample(2.0)
+        b = proc.sample(2.0)
+        assert a == b
+
+    def test_backwards_sampling_rejected(self):
+        proc = GaussMarkovProcess(4.0, 1.0, random.Random(1))
+        proc.sample(5.0)
+        with pytest.raises(SimulationError):
+            proc.sample(1.0)
+
+    def test_zero_sigma_is_constant_zero(self):
+        proc = GaussMarkovProcess(0.0, 1.0, random.Random(1))
+        assert proc.sample(0.0) == 0.0
+        assert proc.sample(100.0) == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GaussMarkovProcess(-1.0, 1.0, random.Random(1))
+        with pytest.raises(ConfigurationError):
+            GaussMarkovProcess(1.0, 0.0, random.Random(1))
+
+
+class TestCompositeFading:
+    def test_total_sigma(self):
+        proc = CompositeFadingProcess(
+            random.Random(1), shadow_sigma_db=3.0, fast_sigma_db=4.0
+        )
+        assert proc.total_sigma_db == pytest.approx(5.0)
+
+    def test_sample_is_sum_of_components(self):
+        # With one component zeroed, the composite equals the other.
+        rng = random.Random(3)
+        proc = CompositeFadingProcess(
+            rng, shadow_sigma_db=0.0, fast_sigma_db=4.0, fast_tau_s=1.0
+        )
+        values = [proc.sample(t * 1.0) for t in range(100)]
+        assert any(v != 0.0 for v in values)

@@ -1,0 +1,85 @@
+"""Unit tests for the per-pair ChannelModel."""
+
+import pytest
+
+from repro.channel.csi import ChannelClass
+from repro.channel.model import ChannelConfig, ChannelModel
+from repro.geometry.vector import Vec2
+from repro.sim.rng import RandomStreams
+
+
+def make_model(positions, **channel_kwargs):
+    """Channel over fixed node positions {id: Vec2}."""
+    config = ChannelConfig(**channel_kwargs)
+    streams = RandomStreams(11)
+    return ChannelModel(config, streams, lambda nid, t: positions[nid])
+
+
+class TestGeometry:
+    def test_distance(self):
+        model = make_model({0: Vec2(0, 0), 1: Vec2(30, 40)})
+        assert model.distance(0, 1, 0.0) == 50.0
+
+    def test_in_range_boundary_and_self(self):
+        model = make_model({0: Vec2(0, 0), 1: Vec2(250, 0), 2: Vec2(251, 0)})
+        assert model.in_range(0, 1, 0.0)
+        assert not model.in_range(0, 2, 0.0)
+        assert not model.in_range(0, 0, 0.0)
+
+    def test_within_custom_range(self):
+        model = make_model({0: Vec2(0, 0), 1: Vec2(400, 0)})
+        assert model.within(0, 1, 0.0, 500.0)
+        assert not model.within(0, 1, 0.0, 399.0)
+
+
+class TestChannelState:
+    def test_symmetric(self):
+        model = make_model({0: Vec2(0, 0), 1: Vec2(180, 0)})
+        for t in (0.0, 0.5, 1.0, 2.5):
+            assert model.state(0, 1, t) == model.state(1, 0, t)
+
+    def test_same_time_queries_consistent(self):
+        model = make_model({0: Vec2(0, 0), 1: Vec2(180, 0)})
+        assert model.snr_db(0, 1, 1.0) == model.snr_db(0, 1, 1.0)
+
+    def test_deterministic_classes_without_fading(self):
+        positions = {0: Vec2(0, 0), 1: Vec2(80, 0), 2: Vec2(210, 0)}
+        model = make_model(positions, shadow_sigma_db=0.0, fast_sigma_db=0.0)
+        assert model.state(0, 1, 0.0) is ChannelClass.A  # 80 m
+        assert model.state(1, 2, 0.0) is ChannelClass.B  # 130 m
+        assert model.state(0, 2, 0.0) is ChannelClass.C  # 210 m
+
+    def test_throughput_matches_class(self):
+        model = make_model(
+            {0: Vec2(0, 0), 1: Vec2(80, 0)}, shadow_sigma_db=0.0, fast_sigma_db=0.0
+        )
+        assert model.throughput_bps(0, 1, 0.0) == 250_000
+
+    def test_csi_hop_distance(self):
+        model = make_model(
+            {0: Vec2(0, 0), 1: Vec2(210, 0)}, shadow_sigma_db=0.0, fast_sigma_db=0.0
+        )
+        assert model.csi_hop_distance(0, 1, 0.0) == pytest.approx(10.0 / 3.0)
+
+    def test_transmission_time(self):
+        model = make_model(
+            {0: Vec2(0, 0), 1: Vec2(80, 0)}, shadow_sigma_db=0.0, fast_sigma_db=0.0
+        )
+        assert model.transmission_time(0, 1, 0.0, 4096) == pytest.approx(4096 / 250_000)
+
+    def test_class_mix_with_fading(self):
+        """With default fading, a mid-range link visits several classes."""
+        model = make_model({0: Vec2(0, 0), 1: Vec2(150, 0)})
+        seen = {model.state(0, 1, t * 2.0) for t in range(200)}
+        assert len(seen) >= 3
+
+    def test_states_vary_over_time_with_fading(self):
+        model = make_model({0: Vec2(0, 0), 1: Vec2(150, 0)})
+        snrs = {round(model.snr_db(0, 1, t * 1.0), 3) for t in range(50)}
+        assert len(snrs) > 10
+
+    def test_distinct_pairs_independent_processes(self):
+        model = make_model({0: Vec2(0, 0), 1: Vec2(150, 0), 2: Vec2(0, 150)})
+        a = [model.snr_db(0, 1, t * 1.0) for t in range(20)]
+        b = [model.snr_db(0, 2, t * 1.0) for t in range(20)]
+        assert a != b

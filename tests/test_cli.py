@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "rica"
+        assert args.mean_speed == 36.0
+
+    def test_run_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--protocol", "aodv", "--mean-speed", "72", "--rate", "20"]
+        )
+        assert args.protocol == "aodv"
+        assert args.mean_speed == 72.0
+        assert args.rate == 20.0
+
+    def test_figure_requires_valid_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "rica" in out and "link_state" in out
+        assert "fig2a" in out and "fig6b" in out
+
+    def test_run_tiny(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--protocol",
+                "aodv",
+                "--nodes",
+                "12",
+                "--flows",
+                "3",
+                "--duration",
+                "4",
+                "--seed",
+                "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "delivery (%)" in out
+        assert "aodv" in out
+
+    def test_figure_tiny(self, capsys):
+        rc = main(
+            [
+                "figure",
+                "fig5a",
+                "--duration",
+                "4",
+                "--trials",
+                "1",
+                "--protocols",
+                "aodv",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fig5a" in out
+        assert "paper expectation" in out

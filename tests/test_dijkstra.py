@@ -1,0 +1,111 @@
+"""Unit and property tests for the Dijkstra implementation."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing.dijkstra import next_hops, path_to, shortest_paths
+
+
+SIMPLE = {
+    "a": {"b": 1.0, "c": 4.0},
+    "b": {"c": 2.0, "d": 5.0},
+    "c": {"d": 1.0},
+    "d": {},
+}
+
+
+class TestShortestPaths:
+    def test_distances(self):
+        dist, _ = shortest_paths(SIMPLE, "a")
+        assert dist == {"a": 0.0, "b": 1.0, "c": 3.0, "d": 4.0}
+
+    def test_parents_form_tree(self):
+        _, parent = shortest_paths(SIMPLE, "a")
+        assert parent["d"] == "c"
+        assert parent["c"] == "b"
+        assert parent["b"] == "a"
+
+    def test_unreachable_absent(self):
+        graph = {"a": {"b": 1.0}, "b": {}, "z": {"a": 1.0}}
+        dist, _ = shortest_paths(graph, "a")
+        assert "z" not in dist
+
+    def test_infinite_cost_edges_skipped(self):
+        graph = {"a": {"b": math.inf, "c": 1.0}, "c": {"b": 1.0}, "b": {}}
+        dist, _ = shortest_paths(graph, "a")
+        assert dist["b"] == 2.0
+
+    def test_negative_cost_edges_skipped(self):
+        graph = {"a": {"b": -1.0, "c": 2.0}, "b": {}, "c": {}}
+        dist, _ = shortest_paths(graph, "a")
+        assert "b" not in dist
+
+
+class TestNextHops:
+    def test_first_hop_resolution(self):
+        hops = next_hops(SIMPLE, "a")
+        assert hops["b"] == "b"
+        assert hops["c"] == "b"  # a-b-c is shorter than a-c
+        assert hops["d"] == "b"
+
+    def test_empty_graph(self):
+        assert next_hops({}, "a") == {}
+
+
+class TestPathTo:
+    def test_full_path(self):
+        assert path_to(SIMPLE, "a", "d") == ["a", "b", "c", "d"]
+
+    def test_unreachable_returns_none(self):
+        assert path_to({"a": {}}, "a", "zzz") is None
+
+    def test_path_to_self(self):
+        assert path_to(SIMPLE, "a", "a") == ["a"]
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    edges = {}
+    for u in range(n):
+        edges[u] = {}
+    possible = [(u, v) for u in range(n) for v in range(n) if u != v]
+    count = draw(st.integers(min_value=0, max_value=len(possible)))
+    rng = random.Random(draw(st.integers(min_value=0, max_value=2**32 - 1)))
+    chosen = rng.sample(possible, count)
+    for u, v in chosen:
+        edges[u][v] = rng.uniform(0.1, 10.0)
+    return edges
+
+
+class TestAgainstNetworkx:
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_distances_match_networkx(self, graph):
+        g = nx.DiGraph()
+        g.add_nodes_from(graph)
+        for u, nbrs in graph.items():
+            for v, w in nbrs.items():
+                g.add_edge(u, v, weight=w)
+        expected = nx.single_source_dijkstra_path_length(g, 0, weight="weight")
+        dist, _ = shortest_paths(graph, 0)
+        assert set(dist) == set(expected)
+        for node, d in expected.items():
+            assert dist[node] == pytest.approx(d)
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_next_hop_lies_on_shortest_path(self, graph):
+        dist, _ = shortest_paths(graph, 0)
+        hops = next_hops(graph, 0)
+        for dest, hop in hops.items():
+            if dest == 0:
+                continue
+            # The edge 0->hop plus the remaining distance equals dist[dest].
+            assert hop in graph[0]
+            remaining, _ = shortest_paths(graph, hop)
+            assert graph[0][hop] + remaining[dest] == pytest.approx(dist[dest])

@@ -1,0 +1,68 @@
+"""Tests for radio energy accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.energy import EnergyModel
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+
+
+class TestEnergyModel:
+    def test_per_bit_costs(self):
+        model = EnergyModel(tx_nj_per_bit=700.0, rx_nj_per_bit=500.0)
+        assert model.tx_joules(1_000_000) == pytest.approx(0.7)
+        assert model.rx_joules(1_000_000) == pytest.approx(0.5)
+        assert model.total_joules(1_000_000, 1_000_000) == pytest.approx(1.2)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyModel(tx_nj_per_bit=-1.0)
+
+
+class TestRadioAccounting:
+    def test_record_radio_accumulates(self):
+        c = MetricsCollector(10.0)
+        c.record_radio(tx_bits=100, rx_bits=50)
+        c.record_radio(tx_bits=10)
+        assert c.radio_tx_bits == 110
+        assert c.radio_rx_bits == 50
+
+    def test_warmup_gating(self):
+        c = MetricsCollector(10.0, warmup_s=5.0)
+        c.record_radio(tx_bits=100, now=1.0)
+        c.record_radio(tx_bits=100, now=6.0)
+        assert c.radio_tx_bits == 100
+
+    def test_report_derives_energy(self):
+        c = MetricsCollector(10.0)
+        c.record_radio(tx_bits=1_000_000, rx_bits=1_000_000)
+        report = c.report()
+        assert report.energy_j == pytest.approx(1.2)
+        assert report.radio_tx_bits == 1_000_000
+
+    def test_scenario_counts_data_control_and_acks(self):
+        report = run_scenario(
+            ScenarioConfig(
+                protocol="aodv",
+                n_nodes=12,
+                n_flows=3,
+                duration_s=5.0,
+                field_size_m=500.0,
+                seed=3,
+            )
+        )
+        assert report.radio_tx_bits > 0
+        assert report.radio_rx_bits > 0
+        assert report.energy_j > 0
+        assert report.energy_mj_per_delivered_kbit > 0
+
+    def test_link_state_burns_more_energy_than_aodv(self):
+        """The paper's point: flooding wastes battery (Section III-D)."""
+        base = dict(
+            n_nodes=20, n_flows=4, duration_s=6.0, field_size_m=600.0, seed=3,
+            mean_speed_kmh=36.0,
+        )
+        ls = run_scenario(ScenarioConfig(protocol="link_state", **base))
+        aodv = run_scenario(ScenarioConfig(protocol="aodv", **base))
+        assert ls.energy_j > aodv.energy_j

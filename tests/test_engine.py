@@ -1,0 +1,153 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        fired = []
+        sim.schedule(2.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(1.5, fired.append, "middle")
+        sim.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_same_time_events_fire_in_scheduling_order(self, sim):
+        fired = []
+        for i in range(10):
+            sim.schedule(1.0, fired.append, i)
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_clock_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(3.25, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.25]
+
+    def test_zero_delay_event_runs_after_current_instant_events(self, sim):
+        fired = []
+
+        def outer():
+            sim.schedule(0.0, fired.append, "inner")
+            fired.append("outer")
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == ["outer", "inner"]
+
+    def test_schedule_at_absolute_time(self, sim):
+        fired = []
+        sim.schedule_at(5.0, fired.append, "x")
+        sim.run()
+        assert fired == ["x"] and sim.now == 5.0
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_nan_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(float("nan"), lambda: None)
+
+    def test_past_absolute_time_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        assert handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        assert handle.cancel() is True
+        assert handle.cancel() is False
+
+    def test_cancel_after_fire_returns_false(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert handle.fired
+        assert handle.cancel() is False
+
+    def test_handle_states(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        assert handle.pending and not handle.fired and not handle.cancelled
+        sim.run()
+        assert handle.fired and not handle.pending
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        assert fired == ["a"]
+        assert sim.now == 2.0
+
+    def test_run_until_then_resume(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_stop_halts_processing(self, sim):
+        fired = []
+        sim.schedule(1.0, sim.stop)
+        sim.schedule(2.0, fired.append, "never")
+        sim.run()
+        assert fired == []
+
+    def test_step_fires_exactly_one(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        assert sim.step()
+        assert fired == [1]
+        assert sim.step()
+        assert fired == [1, 2]
+        assert not sim.step()
+
+    def test_max_events_guard(self, sim):
+        def reschedule():
+            sim.schedule(0.001, reschedule)
+
+        sim.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run(until=10.0, max_events=100)
+
+    def test_run_not_reentrant(self, sim):
+        def nested():
+            sim.run()
+
+        sim.schedule(0.1, nested)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_peek_time_skips_cancelled(self, sim):
+        h1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h1.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_events_processed_counter(self, sim):
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_empty_run_advances_to_until(self, sim):
+        sim.run(until=7.0)
+        assert sim.now == 7.0

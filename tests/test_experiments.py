@@ -1,0 +1,226 @@
+"""Tests for scenario building, sweeps and figure presets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.figures import figure_spec, list_figures, run_figure
+from repro.experiments.scenario import ScenarioConfig, build_scenario, run_scenario
+from repro.experiments.sweep import run_speed_sweep, run_trials
+from repro.routing.registry import available_protocols
+
+TINY = dict(n_nodes=12, n_flows=3, duration_s=4.0, field_size_m=500.0)
+
+
+class TestScenarioConfig:
+    def test_paper_defaults(self):
+        cfg = ScenarioConfig()
+        assert cfg.n_nodes == 50
+        assert cfg.field_size_m == 1000.0
+        assert cfg.n_flows == 10
+        assert cfg.packet_bytes == 512
+        assert cfg.duration_s == 500.0
+        assert cfg.pause_s == 3.0
+
+    def test_max_speed_is_twice_mean(self):
+        cfg = ScenarioConfig(mean_speed_kmh=36.0)
+        assert cfg.max_speed_ms == pytest.approx(20.0)  # 72 km/h
+
+    def test_with_copies(self):
+        cfg = ScenarioConfig()
+        other = cfg.with_(protocol="aodv", seed=9)
+        assert other.protocol == "aodv" and other.seed == 9
+        assert cfg.protocol == "rica"  # original untouched
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(n_nodes=1)
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(mean_speed_kmh=-1)
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(duration_s=0)
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(protocol="nope")
+
+
+class TestBuildScenario:
+    def test_wiring(self):
+        scenario = build_scenario(ScenarioConfig(protocol="rica", **TINY))
+        assert scenario.network.node_count == 12
+        assert len(scenario.protocols) == 12
+        assert len(scenario.sources) == 3
+        for node in scenario.network.nodes():
+            assert node.routing is not None
+            assert node.routing.name == "rica"
+
+    def test_flow_rates_plumbed_to_protocols(self):
+        scenario = build_scenario(ScenarioConfig(protocol="bgca", **TINY))
+        proto = scenario.protocols[0]
+        for flow in scenario.flows:
+            assert proto.config.flow_rates_bps[(flow.src, flow.dst)] == flow.rate_bps
+
+    @pytest.mark.parametrize("protocol", available_protocols())
+    def test_smoke_every_protocol(self, protocol):
+        report = run_scenario(ScenarioConfig(protocol=protocol, seed=5, **TINY))
+        assert report.generated > 0
+        # Conservation: nothing delivered or dropped beyond what was made.
+        assert report.delivered + report.total_drops <= report.generated
+
+    def test_determinism_same_seed(self):
+        a = run_scenario(ScenarioConfig(protocol="aodv", seed=11, **TINY))
+        b = run_scenario(ScenarioConfig(protocol="aodv", seed=11, **TINY))
+        assert a.generated == b.generated
+        assert a.delivered == b.delivered
+        assert a.avg_delay_ms == b.avg_delay_ms
+        assert a.control_tx_count == b.control_tx_count
+
+    def test_different_seeds_differ(self):
+        a = run_scenario(ScenarioConfig(protocol="aodv", seed=11, **TINY))
+        b = run_scenario(ScenarioConfig(protocol="aodv", seed=12, **TINY))
+        assert (a.generated, a.delivered, a.avg_delay_ms) != (
+            b.generated,
+            b.delivered,
+            b.avg_delay_ms,
+        )
+
+
+class TestSweeps:
+    def test_run_trials_aggregates(self):
+        agg = run_trials(ScenarioConfig(protocol="aodv", **TINY), trials=2)
+        assert agg.trials == 2
+        assert agg.generated > 0
+
+    def test_speed_sweep_shape(self):
+        base = ScenarioConfig(**TINY)
+        results = run_speed_sweep(base, ["aodv", "rica"], [0.0, 36.0], trials=1)
+        assert set(results) == {"aodv", "rica"}
+        assert len(results["aodv"]) == 2
+
+
+class TestFigures:
+    def test_all_panels_registered(self):
+        assert list_figures() == [
+            "fig2a",
+            "fig2b",
+            "fig3a",
+            "fig3b",
+            "fig4a",
+            "fig4b",
+            "fig5a",
+            "fig5b",
+            "fig6a",
+            "fig6b",
+        ]
+
+    def test_specs_cover_paper_loads(self):
+        assert figure_spec("fig2a").rate_pps == 10.0
+        assert figure_spec("fig2b").rate_pps == 20.0
+        assert figure_spec("fig6b").rate_pps == 60.0
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            figure_spec("fig99")
+
+    def test_run_figure_sweep_tiny(self):
+        result = run_figure(
+            "fig3a",
+            duration_s=4.0,
+            trials=1,
+            protocols=["aodv"],
+            speeds_kmh=[0.0, 36.0],
+            n_nodes=12,
+        )
+        rows = result.metric_rows()
+        assert len(rows) == 2  # one per speed
+        assert rows[0][0] == 0.0
+        table = result.format_table()
+        assert "fig3a" in table and "aodv" in table
+
+    def test_run_figure_bar_tiny(self):
+        result = run_figure(
+            "fig5b", duration_s=4.0, trials=1, protocols=["aodv"], n_nodes=12
+        )
+        rows = result.metric_rows()
+        assert rows[0][0] == "aodv"
+        assert isinstance(rows[0][1], float)
+
+    def test_run_figure_timeseries_tiny(self):
+        result = run_figure(
+            "fig6a", duration_s=8.0, trials=1, protocols=["aodv"], n_nodes=12
+        )
+        series = result.series("aodv")
+        assert len(series) == 2  # 8 s / 4 s bins
+        assert "kbps" in result.format_table()
+
+    def test_value_accessor(self):
+        result = run_figure(
+            "fig3a",
+            duration_s=4.0,
+            trials=1,
+            protocols=["aodv"],
+            speeds_kmh=[0.0, 36.0],
+            n_nodes=12,
+        )
+        assert result.value("aodv", 0.0) == result.metric_rows()[0][1]
+
+
+class TestCampaign:
+    def _spec(self):
+        from repro.experiments.campaign import CampaignSpec
+
+        return CampaignSpec(
+            name="tiny",
+            base=ScenarioConfig(
+                n_nodes=12, n_flows=3, duration_s=4.0, field_size_m=500.0, seed=3
+            ),
+            protocols=["aodv", "rica"],
+            mean_speeds_kmh=[0.0, 36.0],
+            rates_pps=[10.0],
+            trials=1,
+        )
+
+    def test_grid_execution(self):
+        from repro.experiments.campaign import run_campaign
+
+        result = run_campaign(self._spec())
+        assert len(result.cells) == 4
+        agg = result.get("aodv", 0.0, 10.0)
+        assert agg.generated > 0
+
+    def test_series_extraction(self):
+        from repro.experiments.campaign import run_campaign
+
+        result = run_campaign(self._spec())
+        series = result.series("rica", 10.0, [0.0, 36.0], "delivery_pct")
+        assert len(series) == 2
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        from repro.experiments.campaign import (
+            load_results,
+            run_campaign,
+            save_results,
+        )
+
+        result = run_campaign(self._spec())
+        path = str(tmp_path / "campaign.json")
+        save_results(result, path)
+        loaded = load_results(path)
+        assert loaded.name == result.name
+        for key in result.cells:
+            assert loaded.cells[key].delivery_pct == result.cells[key].delivery_pct
+
+    def test_progress_callback(self):
+        from repro.experiments.campaign import run_campaign
+
+        seen = []
+        run_campaign(self._spec(), progress=seen.append)
+        assert len(seen) == 4
+
+    def test_invalid_specs_rejected(self):
+        from repro.experiments.campaign import CampaignSpec
+
+        with pytest.raises(ConfigurationError):
+            CampaignSpec("x", ScenarioConfig(), [], [0.0], [10.0])
+        with pytest.raises(ConfigurationError):
+            CampaignSpec("x", ScenarioConfig(), ["aodv"], [], [10.0])
+        with pytest.raises(ConfigurationError):
+            CampaignSpec("x", ScenarioConfig(), ["aodv"], [0.0], [10.0], trials=0)

@@ -1,0 +1,161 @@
+"""Tests for the extension features: warmup metrics, random-direction
+mobility, channel statistics helpers."""
+
+import random
+
+import pytest
+
+from repro.channel.model import ChannelConfig
+from repro.channel.csi import ChannelClass
+from repro.channel.stats import class_distribution, mean_dwell_time_s, sample_classes
+from repro.errors import ConfigurationError
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.geometry.field import Field
+from repro.metrics.collector import DropReason, MetricsCollector
+from repro.mobility.direction import RandomDirection
+from repro.net.packet import DataPacket
+
+
+class TestWarmupMetrics:
+    def _pkt(self, created):
+        return DataPacket(src=0, dst=1, seq=1, created_at=created)
+
+    def test_warmup_packets_excluded(self):
+        c = MetricsCollector(duration=20.0, warmup_s=5.0)
+        early = self._pkt(2.0)
+        late = self._pkt(6.0)
+        for p in (early, late):
+            c.record_generated(p)
+            c.record_delivered(p, p.created_at + 0.1)
+        assert c.generated == 1
+        assert c.delivered == 1
+
+    def test_warmup_drops_excluded(self):
+        c = MetricsCollector(duration=20.0, warmup_s=5.0)
+        c.record_dropped(self._pkt(1.0), DropReason.NO_ROUTE)
+        c.record_dropped(self._pkt(7.0), DropReason.NO_ROUTE)
+        assert sum(c.drops.values()) == 1
+
+    def test_warmup_control_gated_by_now(self):
+        c = MetricsCollector(duration=20.0, warmup_s=5.0)
+        c.record_control_tx("rreq", 192, now=1.0)
+        c.record_control_tx("rreq", 192, now=6.0)
+        c.record_ack(160, now=1.0)
+        c.record_ack(160, now=7.0)
+        assert c.control_bits["rreq"] == 192
+        assert c.ack_bits == 160
+
+    def test_overhead_uses_measured_duration(self):
+        c = MetricsCollector(duration=20.0, warmup_s=10.0)
+        c.record_control_tx("rreq", 10_000, now=15.0)
+        assert c.report().overhead_kbps == pytest.approx(10_000 / 10.0 / 1000.0)
+
+    def test_invalid_warmup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsCollector(duration=10.0, warmup_s=10.0)
+        with pytest.raises(ConfigurationError):
+            MetricsCollector(duration=10.0, warmup_s=-1.0)
+
+    def test_scenario_with_warmup_runs(self):
+        report = run_scenario(
+            ScenarioConfig(
+                protocol="aodv",
+                n_nodes=12,
+                n_flows=3,
+                duration_s=6.0,
+                warmup_s=2.0,
+                field_size_m=500.0,
+                seed=3,
+            )
+        )
+        assert report.generated > 0
+
+    def test_scenario_invalid_warmup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(duration_s=5.0, warmup_s=5.0)
+
+
+class TestRandomDirection:
+    def _model(self, seed=1, max_speed=10.0):
+        return RandomDirection(Field(1000, 1000), random.Random(seed), max_speed)
+
+    def test_positions_stay_in_field(self):
+        field = Field(1000, 1000)
+        m = self._model()
+        for t in range(0, 400, 5):
+            assert field.contains(m.position(float(t)))
+
+    def test_travels_to_boundary(self):
+        """Between pauses the terminal ends segments on the field edge."""
+        m = self._model(seed=3)
+        m.position(500.0)  # force segment generation
+        boundary_hits = 0
+        for seg in m._segments:
+            if seg.is_pause and seg.t_start > 0:
+                p = seg.a
+                on_edge = (
+                    p.x < 1e-6 or p.y < 1e-6 or p.x > 1000 - 1e-6 or p.y > 1000 - 1e-6
+                )
+                boundary_hits += on_edge
+        assert boundary_hits >= 1
+
+    def test_zero_speed_static(self):
+        m = self._model(max_speed=0.0)
+        assert m.position(0.0) == m.position(500.0)
+
+    def test_speed_bounds(self):
+        m = self._model(max_speed=12.0)
+        for t in range(0, 300, 7):
+            assert 0.0 <= m.speed_at(float(t)) <= 12.0 + 1e-9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            RandomDirection(Field(100, 100), random.Random(1), -1.0)
+
+    def test_scenario_with_direction_model(self):
+        report = run_scenario(
+            ScenarioConfig(
+                protocol="aodv",
+                n_nodes=12,
+                n_flows=3,
+                duration_s=5.0,
+                field_size_m=500.0,
+                mobility_model="direction",
+                mean_speed_kmh=36.0,
+                seed=3,
+            )
+        )
+        assert report.generated > 0
+
+    def test_unknown_mobility_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(mobility_model="teleport")
+
+
+class TestChannelStats:
+    def test_distribution_sums_to_one(self):
+        dist = class_distribution(150.0, duration_s=60.0, seed=1)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_short_links_mostly_class_a(self):
+        dist = class_distribution(40.0, duration_s=120.0, seed=1)
+        assert dist[ChannelClass.A] > 0.6
+
+    def test_edge_links_mostly_cd(self):
+        dist = class_distribution(240.0, duration_s=120.0, seed=1)
+        assert dist[ChannelClass.C] + dist[ChannelClass.D] > 0.6
+
+    def test_deterministic_channel_single_class(self):
+        config = ChannelConfig(shadow_sigma_db=0.0, fast_sigma_db=0.0)
+        dist = class_distribution(80.0, duration_s=10.0, config=config)
+        assert dist[ChannelClass.A] == 1.0
+
+    def test_dwell_time_in_checking_regime(self):
+        """The paper picks a 1 s CSI-checking period because classes dwell
+        on that order; our calibration must land in a sensible band."""
+        dwell = mean_dwell_time_s(150.0, duration_s=120.0, seed=2)
+        assert 0.1 <= dwell <= 5.0
+
+    def test_sample_classes_length(self):
+        samples = sample_classes(100.0, duration_s=10.0, step_s=0.1)
+        assert len(samples) == 100

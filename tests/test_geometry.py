@@ -1,0 +1,75 @@
+"""Unit tests for vectors and the simulation field."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.field import Field
+from repro.geometry.vector import Vec2, distance
+
+
+class TestVec2:
+    def test_add_sub(self):
+        assert Vec2(1, 2) + Vec2(3, 4) == Vec2(4, 6)
+        assert Vec2(3, 4) - Vec2(1, 2) == Vec2(2, 2)
+
+    def test_scaled(self):
+        assert Vec2(1.5, -2.0).scaled(2) == Vec2(3.0, -4.0)
+
+    def test_norm(self):
+        assert Vec2(3, 4).norm() == 5.0
+
+    def test_distance_to(self):
+        assert Vec2(0, 0).distance_to(Vec2(3, 4)) == 5.0
+        assert distance(Vec2(1, 1), Vec2(1, 1)) == 0.0
+
+    def test_lerp_endpoints_and_midpoint(self):
+        a, b = Vec2(0, 0), Vec2(10, 20)
+        assert a.lerp(b, 0.0) == a
+        assert a.lerp(b, 1.0) == b
+        assert a.lerp(b, 0.5) == Vec2(5, 10)
+
+    def test_unit_vector(self):
+        u = Vec2(3, 4).unit()
+        assert math.isclose(u.norm(), 1.0)
+        assert Vec2(0, 0).unit() == Vec2(0, 0)
+
+    def test_iterable_unpacking(self):
+        x, y = Vec2(7, 8)
+        assert (x, y) == (7, 8)
+
+
+class TestField:
+    def test_contains_and_clamp(self):
+        f = Field(100, 50)
+        assert f.contains(Vec2(50, 25))
+        assert not f.contains(Vec2(101, 25))
+        assert f.clamp(Vec2(150, -10)) == Vec2(100, 0)
+
+    def test_random_points_inside(self):
+        f = Field(1000, 1000)
+        rng = random.Random(1)
+        for _ in range(200):
+            assert f.contains(f.random_point(rng))
+
+    def test_random_points_deterministic(self):
+        f = Field(1000, 1000)
+        a = [f.random_point(random.Random(5)) for _ in range(1)]
+        b = [f.random_point(random.Random(5)) for _ in range(1)]
+        assert a == b
+
+    def test_area_and_diagonal(self):
+        f = Field(30, 40)
+        assert f.area == 1200
+        assert f.diagonal == 50
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Field(0, 10)
+        with pytest.raises(ConfigurationError):
+            Field(10, -1)
+
+    def test_as_tuple(self):
+        assert Field(10, 20).as_tuple() == (10.0, 20.0)

@@ -1,0 +1,84 @@
+"""Cross-module integration tests: full scenarios with every protocol."""
+
+import pytest
+
+from repro.experiments.scenario import ScenarioConfig, build_scenario, run_scenario
+from repro.routing.registry import available_protocols
+
+SMALL = dict(n_nodes=25, n_flows=5, duration_s=8.0, field_size_m=700.0, seed=21)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("protocol", available_protocols())
+    def test_delivers_most_packets_when_static(self, protocol):
+        report = run_scenario(
+            ScenarioConfig(protocol=protocol, mean_speed_kmh=0.0, **SMALL)
+        )
+        assert report.generated > 100
+        assert report.delivery_pct > 60.0, report.summary()
+
+    @pytest.mark.parametrize("protocol", available_protocols())
+    def test_survives_high_mobility(self, protocol):
+        report = run_scenario(
+            ScenarioConfig(protocol=protocol, mean_speed_kmh=72.0, **SMALL)
+        )
+        assert report.delivery_pct > 30.0, report.summary()
+
+    @pytest.mark.parametrize("protocol", available_protocols())
+    def test_packet_conservation(self, protocol):
+        """generated = delivered + dropped + in-flight (non-negative)."""
+        report = run_scenario(
+            ScenarioConfig(protocol=protocol, mean_speed_kmh=36.0, **SMALL)
+        )
+        in_flight = report.generated - report.delivered - report.total_drops
+        assert in_flight >= 0
+        # At 8 s x 5 flows x 10 pkt/s, in-flight at the end is a sliver.
+        assert in_flight < report.generated * 0.25
+
+    def test_no_duplicate_deliveries(self):
+        scenario = build_scenario(
+            ScenarioConfig(protocol="rica", mean_speed_kmh=36.0, **SMALL)
+        )
+        scenario.run()
+        assert scenario.metrics.duplicates == 0
+
+    def test_hops_of_delivered_packets_reasonable(self):
+        report = run_scenario(ScenarioConfig(protocol="aodv", mean_speed_kmh=0.0, **SMALL))
+        assert 1.0 <= report.avg_hops <= 10.0
+
+    def test_link_throughput_within_class_bounds(self):
+        report = run_scenario(ScenarioConfig(protocol="rica", mean_speed_kmh=0.0, **SMALL))
+        assert 50.0 <= report.avg_link_throughput_kbps <= 250.0
+
+
+class TestChannelAdaptationAdvantage:
+    def test_rica_link_quality_beats_aodv(self):
+        """The core paper claim at unit scale: channel-adaptive routing
+        selects higher-throughput links than channel-oblivious AODV."""
+        base = dict(n_nodes=30, n_flows=6, duration_s=10.0, field_size_m=800.0)
+        rica_tp = []
+        aodv_tp = []
+        for seed in (3, 4, 5):
+            rica = run_scenario(
+                ScenarioConfig(protocol="rica", mean_speed_kmh=36.0, seed=seed, **base)
+            )
+            aodv = run_scenario(
+                ScenarioConfig(protocol="aodv", mean_speed_kmh=36.0, seed=seed, **base)
+            )
+            rica_tp.append(rica.avg_link_throughput_kbps)
+            aodv_tp.append(aodv.avg_link_throughput_kbps)
+        assert sum(rica_tp) / 3 > sum(aodv_tp) / 3
+
+    def test_rica_overhead_exceeds_aodv(self):
+        """The price of adaptivity (paper Figure 4): CSI checking costs."""
+        base = dict(n_nodes=30, n_flows=6, duration_s=10.0, field_size_m=800.0, seed=3)
+        rica = run_scenario(ScenarioConfig(protocol="rica", mean_speed_kmh=36.0, **base))
+        aodv = run_scenario(ScenarioConfig(protocol="aodv", mean_speed_kmh=36.0, **base))
+        assert rica.overhead_kbps > aodv.overhead_kbps
+        assert rica.control_tx_count.get("csi_check", 0) > 0
+
+    def test_link_state_overhead_dwarfs_on_demand(self):
+        base = dict(n_nodes=30, n_flows=6, duration_s=8.0, field_size_m=800.0, seed=3)
+        ls = run_scenario(ScenarioConfig(protocol="link_state", mean_speed_kmh=36.0, **base))
+        aodv = run_scenario(ScenarioConfig(protocol="aodv", mean_speed_kmh=36.0, **base))
+        assert ls.overhead_kbps > 3 * aodv.overhead_kbps

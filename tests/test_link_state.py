@@ -1,0 +1,143 @@
+"""Behavioural tests for the link-state baseline."""
+
+import math
+
+import pytest
+
+from repro.routing.link_state import LinkStateConfig
+from repro.routing.packets import LinkStateAd
+
+from tests.helpers import attach_protocols, build_static_network, send_app_packet
+
+
+class TestInstalledView:
+    def test_accurate_view_at_start(self, sim, streams):
+        network, metrics = build_static_network(
+            sim, streams, [(0, 0), (150, 0), (300, 0)]
+        )
+        protos = attach_protocols(network, metrics, "link_state")
+        # Every node knows every link, including ones it cannot see itself.
+        for proto in protos:
+            assert set(proto.adj[0]) == {1}
+            assert set(proto.adj[1]) == {0, 2}
+            assert set(proto.adj[2]) == {1}
+
+    def test_costs_are_csi_hop_distances(self, sim, streams):
+        network, metrics = build_static_network(sim, streams, [(0, 0), (120, 0)])
+        protos = attach_protocols(network, metrics, "link_state")
+        # 120 m -> class B -> cost 5/3.
+        assert protos[0].adj[0][1] == pytest.approx(5.0 / 3.0)
+
+    def test_immediate_forwarding_without_discovery(self, sim, streams):
+        network, metrics = build_static_network(
+            sim, streams, [(0, 0), (150, 0), (300, 0)]
+        )
+        attach_protocols(network, metrics, "link_state")
+        send_app_packet(network, metrics, 0, 2)
+        sim.run(until=1.0)
+        assert metrics.delivered == 1
+        assert metrics.control_tx_count.get("rreq", 0) == 0  # proactive
+
+    def test_dijkstra_prefers_high_throughput_path(self, sim, streams):
+        """0->2 direct (190 m, class C, cost 10/3) loses to 0-3-2 with two
+        class-A links (cost 2.0)."""
+        network, metrics = build_static_network(
+            sim, streams, [(0, 0), (95, 25), (190, 0)]
+        )
+        protos = attach_protocols(network, metrics, "link_state")
+        assert protos[0]._next_hop(2) == 1
+
+    def test_unreachable_destination_drops(self, sim, streams):
+        network, metrics = build_static_network(sim, streams, [(0, 0), (4000, 4000)])
+        attach_protocols(network, metrics, "link_state")
+        send_app_packet(network, metrics, 0, 1)
+        sim.run(until=1.0)
+        assert metrics.delivered == 0
+        assert sum(metrics.drops.values()) == 1
+
+
+class TestFlooding:
+    def test_lsa_updates_remote_database(self, sim, streams):
+        network, metrics = build_static_network(
+            sim, streams, [(0, 0), (150, 0), (300, 0)]
+        )
+        protos = attach_protocols(network, metrics, "link_state")
+        # Inject a fresher advertisement from node 0 withdrawing link 0-1.
+        lsa = LinkStateAd(sim.now, origin=0, seq=999, entries=[(1, math.inf)])
+        protos[1].on_lsa(lsa, from_id=0)
+        assert 1 not in protos[1].adj[0]
+        sim.run(until=1.0)  # relayed flood reaches node 2
+        assert 1 not in protos[2].adj[0]
+
+    def test_stale_lsa_ignored(self, sim, streams):
+        network, metrics = build_static_network(sim, streams, [(0, 0), (150, 0)])
+        protos = attach_protocols(network, metrics, "link_state")
+        fresh = LinkStateAd(sim.now, origin=0, seq=10, entries=[(1, 5.0)])
+        protos[1].on_lsa(fresh, from_id=0)
+        assert protos[1].adj[0][1] == 5.0
+        stale = LinkStateAd(sim.now, origin=0, seq=9, entries=[(1, 1.0)])
+        protos[1].on_lsa(stale, from_id=0)
+        assert protos[1].adj[0][1] == 5.0  # unchanged
+
+    def test_monitor_floods_on_cost_change(self, sim, streams):
+        """With fading enabled, link classes change and LSAs flow."""
+        from repro.channel.model import ChannelConfig
+
+        network, metrics = build_static_network(
+            sim,
+            streams,
+            [(0, 0), (150, 0), (300, 0)],
+            channel_config=ChannelConfig(),  # default fading ON
+        )
+        attach_protocols(network, metrics, "link_state")
+        sim.run(until=10.0)
+        assert metrics.control_tx_count.get("lsa", 0) > 0
+
+    def test_no_lsas_when_nothing_changes(self, sim, streams):
+        network, metrics = build_static_network(
+            sim, streams, [(0, 0), (150, 0), (300, 0)]
+        )
+        attach_protocols(network, metrics, "link_state")
+        sim.run(until=10.0)  # deterministic channel, static nodes
+        assert metrics.control_tx_count.get("lsa", 0) == 0
+
+
+class TestFailureHandling:
+    def test_break_withdraws_link_and_retries(self, sim, streams):
+        from repro.geometry.field import Field
+        from repro.geometry.vector import Vec2
+        from repro.metrics.collector import MetricsCollector
+        from repro.mobility.path import WaypointPath
+        from repro.mobility.static import StaticPosition
+        from repro.net.network import Network
+        from repro.sim.timers import PeriodicTimer
+        from tests.helpers import make_deterministic_channel_config
+
+        metrics = MetricsCollector(100.0)
+        network = Network(
+            sim,
+            Field(5000, 5000),
+            streams,
+            metrics,
+            channel_config=make_deterministic_channel_config(),
+        )
+        network.add_node(StaticPosition(Vec2(0, 0)))  # 0 source
+        network.add_node(  # 1 relay leaves at t=2
+            WaypointPath([(0.0, Vec2(150, 0)), (2.0, Vec2(150, 0)), (2.4, Vec2(150, 3000))])
+        )
+        network.add_node(StaticPosition(Vec2(300, 0)))  # 2 destination
+        network.add_node(StaticPosition(Vec2(150, 130)))  # 3 alternative
+        attach_protocols(network, metrics, "link_state")
+        seq = [0]
+
+        def tick():
+            seq[0] += 1
+            send_app_packet(network, metrics, 0, 2, seq=seq[0])
+
+        PeriodicTimer(sim, 0.1, tick, start_delay=0.0).start()
+        sim.run(until=8.0)
+        # The monitor or the data plane withdrew the dead link and the
+        # traffic re-routed via node 3.
+        assert metrics.delivered > 50
+        source = network.node(0).routing
+        assert source._next_hop(2) == 3

@@ -1,0 +1,137 @@
+"""Unit tests for metrics collection and report derivation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.collector import DropReason, MetricsCollector
+from repro.metrics.report import MetricsReport
+from repro.net.packet import DataPacket
+
+
+def pkt(created=0.0, src=0, dst=1):
+    return DataPacket(src=src, dst=dst, seq=1, created_at=created)
+
+
+class TestCollector:
+    def test_delivery_and_delay(self):
+        c = MetricsCollector(duration=100.0)
+        p = pkt(created=1.0)
+        p.record_hop(250_000.0)
+        c.record_generated(p)
+        c.record_delivered(p, now=1.25)
+        report = c.report()
+        assert report.delivered == 1
+        assert report.avg_delay_ms == pytest.approx(250.0)
+        assert report.delivery_pct == 100.0
+
+    def test_duplicate_delivery_counted_once(self):
+        c = MetricsCollector(100.0)
+        p = pkt()
+        c.record_generated(p)
+        c.record_delivered(p, 1.0)
+        c.record_delivered(p, 2.0)
+        assert c.delivered == 1
+        assert c.duplicates == 1
+
+    def test_drop_reasons(self):
+        c = MetricsCollector(100.0)
+        for _ in range(3):
+            c.record_dropped(pkt(), DropReason.QUEUE_FULL)
+        c.record_dropped(pkt(), DropReason.NO_ROUTE)
+        report = c.report()
+        assert report.drops["queue_full"] == 3
+        assert report.drops["no_route"] == 1
+        assert report.total_drops == 4
+
+    def test_overhead_includes_control_and_acks(self):
+        c = MetricsCollector(duration=10.0)
+        c.record_control_tx("rreq", 192)  # 24 B
+        c.record_control_tx("rreq", 192)
+        c.record_ack(160)
+        report = c.report()
+        assert report.overhead_kbps == pytest.approx((192 + 192 + 160) / 10.0 / 1000.0)
+        assert report.control_tx_count["rreq"] == 2
+        assert report.ack_bits == 160
+
+    def test_link_throughput_and_hops(self):
+        c = MetricsCollector(100.0)
+        p = pkt()
+        p.record_hop(250_000.0)
+        p.record_hop(50_000.0)
+        c.record_generated(p)
+        c.record_delivered(p, 1.0)
+        report = c.report()
+        assert report.avg_hops == 2.0
+        assert report.avg_link_throughput_kbps == pytest.approx((250 + 50) / 2.0)
+
+    def test_throughput_series_bins(self):
+        c = MetricsCollector(duration=20.0, throughput_bin_s=4.0)
+        for t in (1.0, 2.0, 9.0):
+            p = pkt()
+            c.record_generated(p)
+            c.record_delivered(p, now=t)
+        report = c.report()
+        assert len(report.throughput_series_kbps) == 5
+        # bin 0 holds two 4096-bit packets over 4 s.
+        assert report.throughput_series_kbps[0] == pytest.approx(2 * 4096 / 4.0 / 1000.0)
+        assert report.throughput_series_kbps[1] == 0.0
+        assert report.throughput_series_kbps[2] == pytest.approx(4096 / 4.0 / 1000.0)
+
+    def test_events(self):
+        c = MetricsCollector(10.0)
+        c.record_event("x")
+        c.record_event("x", 2)
+        assert c.report().events["x"] == 3
+
+    def test_empty_report_is_sane(self):
+        report = MetricsCollector(10.0).report()
+        assert report.avg_delay_ms == 0.0
+        assert report.delivery_pct == 0.0
+        assert report.avg_hops == 0.0
+        assert report.avg_link_throughput_kbps == 0.0
+
+    def test_invalid_duration(self):
+        with pytest.raises(ConfigurationError):
+            MetricsCollector(0.0)
+
+    def test_summary_renders(self):
+        c = MetricsCollector(10.0)
+        p = pkt()
+        c.record_generated(p)
+        c.record_delivered(p, 0.5)
+        text = c.report().summary()
+        assert "delivery percentage" in text
+        assert "100.0" in text
+
+
+class TestPerFlowBreakdown:
+    def test_flow_delivery_and_delay(self):
+        c = MetricsCollector(100.0)
+        a1 = DataPacket(0, 1, 1, created_at=0.0, flow_id=0)
+        a2 = DataPacket(0, 1, 2, created_at=0.0, flow_id=0)
+        b1 = DataPacket(2, 3, 1, created_at=0.0, flow_id=1)
+        for p in (a1, a2, b1):
+            c.record_generated(p)
+        c.record_delivered(a1, now=0.1)
+        c.record_delivered(b1, now=0.3)
+        report = c.report()
+        assert report.flow_delivery_pct[0] == pytest.approx(50.0)
+        assert report.flow_delivery_pct[1] == pytest.approx(100.0)
+        assert report.flow_avg_delay_ms[0] == pytest.approx(100.0)
+        assert report.flow_avg_delay_ms[1] == pytest.approx(300.0)
+
+    def test_flows_visible_in_scenario_run(self):
+        from repro.experiments.scenario import ScenarioConfig, run_scenario
+
+        report = run_scenario(
+            ScenarioConfig(
+                protocol="aodv",
+                n_nodes=12,
+                n_flows=3,
+                duration_s=4.0,
+                field_size_m=500.0,
+                seed=3,
+            )
+        )
+        assert set(report.flow_delivery_pct) <= {0, 1, 2}
+        assert len(report.flow_delivery_pct) >= 1

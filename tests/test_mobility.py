@@ -1,0 +1,120 @@
+"""Unit tests for mobility models."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.field import Field
+from repro.geometry.vector import Vec2
+from repro.mobility.path import WaypointPath
+from repro.mobility.static import StaticPosition
+from repro.mobility.waypoint import RandomWaypoint
+
+
+class TestStaticPosition:
+    def test_position_constant(self):
+        m = StaticPosition(Vec2(10, 20))
+        assert m.position(0.0) == Vec2(10, 20)
+        assert m.position(1e6) == Vec2(10, 20)
+
+    def test_speed_zero(self):
+        assert StaticPosition(Vec2(0, 0)).speed_at(5.0) == 0.0
+
+
+class TestWaypointPath:
+    def test_interpolates_linearly(self):
+        path = WaypointPath([(0.0, Vec2(0, 0)), (10.0, Vec2(100, 0))])
+        assert path.position(5.0) == Vec2(50, 0)
+
+    def test_holds_endpoints(self):
+        path = WaypointPath([(1.0, Vec2(0, 0)), (2.0, Vec2(10, 0))])
+        assert path.position(0.0) == Vec2(0, 0)
+        assert path.position(100.0) == Vec2(10, 0)
+
+    def test_speed(self):
+        path = WaypointPath([(0.0, Vec2(0, 0)), (10.0, Vec2(100, 0))])
+        assert path.speed_at(5.0) == pytest.approx(10.0)
+        assert path.speed_at(50.0) == 0.0
+
+    def test_rejects_bad_anchor_times(self):
+        with pytest.raises(ConfigurationError):
+            WaypointPath([])
+        with pytest.raises(ConfigurationError):
+            WaypointPath([(1.0, Vec2(0, 0)), (1.0, Vec2(1, 1))])
+        with pytest.raises(ConfigurationError):
+            WaypointPath([(-1.0, Vec2(0, 0)), (1.0, Vec2(1, 1))])
+
+
+class TestRandomWaypoint:
+    def _model(self, max_speed=10.0, pause=3.0, seed=1):
+        return RandomWaypoint(
+            Field(1000, 1000), random.Random(seed), max_speed, pause_time=pause
+        )
+
+    def test_positions_stay_in_field(self):
+        m = self._model()
+        field = Field(1000, 1000)
+        for t in range(0, 500, 7):
+            assert field.contains(m.position(float(t)))
+
+    def test_continuity(self):
+        m = self._model(max_speed=20.0)
+        prev = m.position(0.0)
+        for i in range(1, 2000):
+            t = i * 0.25
+            cur = m.position(t)
+            # displacement bounded by max speed x dt
+            assert prev.distance_to(cur) <= 20.0 * 0.25 + 1e-6
+            prev = cur
+
+    def test_deterministic_given_rng(self):
+        a = self._model(seed=9)
+        b = self._model(seed=9)
+        for t in (0.0, 12.3, 99.0, 500.0):
+            assert a.position(t) == b.position(t)
+
+    def test_out_of_order_queries_consistent(self):
+        a = self._model(seed=4)
+        b = self._model(seed=4)
+        ts = [100.0, 3.0, 57.0, 4.5, 250.0]
+        pos_a = {t: a.position(t) for t in ts}
+        for t in sorted(ts):
+            assert b.position(t) == pos_a[t]
+
+    def test_zero_speed_is_static(self):
+        m = self._model(max_speed=0.0)
+        assert m.position(0.0) == m.position(1000.0)
+        assert m.speed_at(123.0) == 0.0
+
+    def test_speed_within_bounds(self):
+        m = self._model(max_speed=15.0, pause=1.0)
+        for t in range(0, 300, 3):
+            assert 0.0 <= m.speed_at(float(t)) <= 15.0 + 1e-9
+
+    def test_pause_occurs_at_waypoints(self):
+        m = self._model(max_speed=10.0, pause=3.0)
+        # Scan for an interval where the node does not move (a pause).
+        paused = False
+        for i in range(0, 5000):
+            t = i * 0.1
+            if m.position(t) == m.position(t + 2.9) and m.speed_at(t + 1.0) == 0.0:
+                paused = True
+                break
+        assert paused, "expected at least one 3-second pause in 500 s"
+
+    def test_negative_time_clamped(self):
+        m = self._model()
+        assert m.position(-5.0) == m.position(0.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._model(max_speed=-1.0)
+        with pytest.raises(ConfigurationError):
+            self._model(pause=-0.1)
+
+    def test_explicit_start_position(self):
+        m = RandomWaypoint(
+            Field(1000, 1000), random.Random(1), 10.0, start=Vec2(500, 500)
+        )
+        assert m.position(0.0) == Vec2(500, 500)

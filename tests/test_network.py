@@ -1,0 +1,91 @@
+"""Unit tests for the Node and Network containers."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.geometry.vector import Vec2
+from repro.mobility.static import StaticPosition
+from repro.net.node import Node
+from repro.net.packet import DataPacket
+from repro.routing.packets import Beacon
+
+from tests.helpers import build_static_network
+
+
+class TestNode:
+    def test_position_delegates_to_mobility(self):
+        node = Node(3, StaticPosition(Vec2(10, 20)))
+        assert node.position(5.0) == Vec2(10, 20)
+
+    def test_send_without_mac_raises(self):
+        node = Node(0, StaticPosition(Vec2(0, 0)))
+        with pytest.raises(ConfigurationError):
+            node.send_control(Beacon(0.0, origin=0))
+        with pytest.raises(ConfigurationError):
+            node.send_data(DataPacket(0, 1, 1, 0.0), 1)
+
+    def test_receive_without_routing_is_noop(self):
+        node = Node(0, StaticPosition(Vec2(0, 0)))
+        node.receive_control(Beacon(0.0, origin=1), from_id=1)  # no exception
+        node.receive_data(DataPacket(1, 0, 1, 0.0), from_id=1)
+
+    def test_attach_routing(self, sim, streams):
+        network, metrics = build_static_network(sim, streams, [(0, 0), (100, 0)])
+        from tests.helpers import attach_protocols
+
+        protos = attach_protocols(network, metrics, "aodv")
+        assert network.node(0).routing is protos[0]
+
+
+class TestNetwork:
+    def test_node_ids_sequential(self, sim, streams):
+        network, _ = build_static_network(sim, streams, [(0, 0), (100, 0), (200, 0)])
+        assert network.node_ids == [0, 1, 2]
+        assert network.node_count == 3
+
+    def test_duplicate_node_id_rejected(self, sim, streams):
+        network, _ = build_static_network(sim, streams, [(0, 0)])
+        with pytest.raises(TopologyError):
+            network.add_node(StaticPosition(Vec2(1, 1)), node_id=0)
+
+    def test_unknown_node_rejected(self, sim, streams):
+        network, _ = build_static_network(sim, streams, [(0, 0)])
+        with pytest.raises(TopologyError):
+            network.node(99)
+
+    def test_neighbors_respect_range(self, sim, streams):
+        network, _ = build_static_network(
+            sim, streams, [(0, 0), (100, 0), (240, 0), (600, 0)]
+        )
+        assert sorted(network.neighbors(0, 0.0)) == [1, 2]
+        assert sorted(network.neighbors(1, 0.0)) == [0, 2]
+        assert sorted(network.neighbors(3, 0.0)) == []
+
+    def test_neighbors_exclude_self(self, sim, streams):
+        network, _ = build_static_network(sim, streams, [(0, 0), (100, 0)])
+        assert 0 not in network.neighbors(0, 0.0)
+
+    def test_adjacency_consistent_with_neighbors(self, sim, streams):
+        network, _ = build_static_network(
+            sim, streams, [(0, 0), (100, 0), (240, 0), (600, 0)]
+        )
+        adjacency = network.adjacency(0.0)
+        for nid in network.node_ids:
+            assert adjacency[nid] == network.neighbors(nid, 0.0)
+
+    def test_adjacency_symmetric(self, sim, streams):
+        network, _ = build_static_network(
+            sim, streams, [(0, 0), (100, 0), (240, 0), (600, 0)]
+        )
+        adjacency = network.adjacency(0.0)
+        for u, nbrs in adjacency.items():
+            for v in nbrs:
+                assert u in adjacency[v]
+
+    def test_nodes_returns_all(self, sim, streams):
+        network, _ = build_static_network(sim, streams, [(0, 0), (100, 0)])
+        assert [n.id for n in network.nodes()] == [0, 1]
+
+    def test_position_query(self, sim, streams):
+        network, _ = build_static_network(sim, streams, [(5, 7)])
+        assert network.position(0, 0.0) == Vec2(5, 7)

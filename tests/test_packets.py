@@ -1,0 +1,110 @@
+"""Unit tests for data and control packets."""
+
+import math
+
+import pytest
+
+from repro.errors import PacketError
+from repro.net.packet import ACK_BYTES, DATA_PACKET_BYTES, DataPacket, Packet
+from repro.routing.packets import (
+    Beacon,
+    ControlPacket,
+    CsiCheck,
+    LinkStateAd,
+    RouteError,
+    RouteNotification,
+    RouteReply,
+    RouteRequest,
+    RouteUpdate,
+)
+
+
+class TestDataPacket:
+    def test_paper_size(self):
+        pkt = DataPacket(src=1, dst=2, seq=1, created_at=0.0)
+        assert pkt.size_bytes == DATA_PACKET_BYTES == 512
+        assert pkt.size_bits == 4096
+
+    def test_unique_uids(self):
+        a = DataPacket(1, 2, 1, 0.0)
+        b = DataPacket(1, 2, 2, 0.0)
+        assert a.uid != b.uid
+
+    def test_record_hop(self):
+        pkt = DataPacket(1, 2, 1, 0.0)
+        pkt.record_hop(250_000.0)
+        pkt.record_hop(75_000.0)
+        assert pkt.hops_traversed == 2
+        assert pkt.link_rates_bps == [250_000.0, 75_000.0]
+
+    def test_self_addressed_rejected(self):
+        with pytest.raises(PacketError):
+            DataPacket(3, 3, 1, 0.0)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(PacketError):
+            Packet(0, 0.0)
+
+
+class TestControlPackets:
+    def test_sizes_are_compact(self):
+        now = 0.0
+        assert RouteRequest(now, 1, 2, 1).size_bytes == 24
+        assert RouteReply(now, 1, 2, 1).size_bytes == 20
+        assert RouteError(now, 1, 2, 3).size_bytes == 16
+        assert CsiCheck(now, 1, 2, 1, ttl=4).size_bytes == 20
+        assert RouteUpdate(now, 1, 2, 1).size_bytes == 16
+        assert Beacon(now, 1).size_bytes == 12
+        assert RouteNotification(now, 1, 2, 3).size_bytes == 16
+
+    def test_lsa_size_grows_with_entries(self):
+        base = LinkStateAd(0.0, origin=1, seq=1, entries=[])
+        one = LinkStateAd(0.0, origin=1, seq=2, entries=[(2, 1.0)])
+        three = LinkStateAd(0.0, origin=1, seq=3, entries=[(2, 1.0), (3, 5.0), (4, math.inf)])
+        assert one.size_bytes == base.size_bytes + 6
+        assert three.size_bytes == base.size_bytes + 18
+
+    def test_flood_keys_unique_per_broadcast(self):
+        r1 = RouteRequest(0.0, 1, 2, bcast_id=1)
+        r2 = RouteRequest(0.0, 1, 2, bcast_id=2)
+        assert r1.flood_key != r2.flood_key
+        c1 = CsiCheck(0.0, 1, 2, bcast_id=1, ttl=3)
+        assert c1.flood_key != r1.flood_key
+
+    def test_relay_copy_fresh_uid_same_fields(self):
+        rreq = RouteRequest(0.0, origin=1, target=2, bcast_id=7, ttl=5)
+        rreq.hops = 3
+        rreq.csi_distance = 4.5
+        clone = rreq.relay_copy(1.5)
+        assert clone.uid != rreq.uid
+        assert clone.created_at == 1.5
+        assert clone.origin == 1 and clone.target == 2 and clone.bcast_id == 7
+        assert clone.hops == 3 and clone.csi_distance == 4.5 and clone.ttl == 5
+
+    def test_relay_copy_does_not_alias(self):
+        rreq = RouteRequest(0.0, 1, 2, 1)
+        clone = rreq.relay_copy(0.1)
+        clone.hops = 99
+        assert rreq.hops == 0
+
+    def test_relay_copy_preserves_lsa_size(self):
+        lsa = LinkStateAd(0.0, 1, 1, entries=[(2, 1.0), (3, 2.0)])
+        clone = lsa.relay_copy(0.5)
+        assert clone.size_bytes == lsa.size_bytes
+        assert clone.entries == lsa.entries
+
+    def test_unicast_marker(self):
+        rrep = RouteReply(0.0, 1, 2, 1, unicast_to=9)
+        assert rrep.unicast_to == 9
+        assert RouteRequest(0.0, 1, 2, 1).unicast_to is None
+
+    def test_rreq_defaults(self):
+        rreq = RouteRequest(0.0, 1, 2, 1)
+        assert rreq.hops == 0
+        assert rreq.csi_distance == 0.0
+        assert rreq.min_bw_bps == float("inf")
+        assert rreq.query_kind == "full"
+        assert rreq.ttl is None
+
+    def test_ack_size_constant(self):
+        assert ACK_BYTES == 20

@@ -1,0 +1,67 @@
+"""Tests for the ASCII plot renderers."""
+
+import pytest
+
+from repro.analysis.plot import bar_chart, line_plot
+from repro.errors import ConfigurationError
+
+
+class TestLinePlot:
+    def test_renders_all_series_markers(self):
+        text = line_plot(
+            {"rica": [1.0, 2.0, 3.0], "aodv": [3.0, 2.0, 1.0]},
+            xs=[0.0, 1.0, 2.0],
+            title="demo",
+        )
+        assert "demo" in text
+        assert "o" in text and "x" in text  # both markers drawn
+        assert "legend: o rica   x aodv" in text
+
+    def test_axis_labels_show_extremes(self):
+        text = line_plot({"s": [10.0, 50.0]}, xs=[0.0, 72.0])
+        assert "50.0" in text
+        assert "10.0" in text
+        assert "72.0" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = line_plot({"s": [5.0, 5.0, 5.0]}, xs=[0, 1, 2])
+        assert "o" in text
+
+    def test_requires_matching_lengths(self):
+        with pytest.raises(ConfigurationError):
+            line_plot({"s": [1.0]}, xs=[0.0, 1.0])
+
+    def test_requires_two_points(self):
+        with pytest.raises(ConfigurationError):
+            line_plot({"s": [1.0]}, xs=[0.0])
+
+    def test_requires_series(self):
+        with pytest.raises(ConfigurationError):
+            line_plot({}, xs=[0.0, 1.0])
+
+    def test_plot_height_and_width(self):
+        text = line_plot({"s": [0.0, 1.0]}, xs=[0, 1], width=30, height=8)
+        body = [l for l in text.splitlines() if "|" in l]
+        assert len(body) == 8
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        text = bar_chart({"big": 100.0, "small": 10.0}, width=40)
+        lines = text.splitlines()
+        big_len = lines[0].count("#")
+        small_len = lines[1].count("#")
+        assert big_len == 40
+        assert 1 <= small_len <= 5
+
+    def test_unit_suffix(self):
+        text = bar_chart({"a": 3.0}, unit=" kbps")
+        assert "3.0 kbps" in text
+
+    def test_zero_values_handled(self):
+        text = bar_chart({"a": 0.0})
+        assert "0.0" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart({})

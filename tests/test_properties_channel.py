@@ -1,0 +1,118 @@
+"""Property-based tests for the channel and medium invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.fading import GaussMarkovProcess
+from repro.channel.model import ChannelConfig, ChannelModel
+from repro.geometry.vector import Vec2
+from repro.mac.medium import CommonChannelMedium, Transmission
+from repro.net.packet import Packet
+from repro.sim.rng import RandomStreams
+
+
+class TestFadingProperties:
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.lists(
+            st.floats(min_value=0.001, max_value=5.0, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_samples_always_finite(self, seed, gaps):
+        proc = GaussMarkovProcess(4.0, 1.0, random.Random(seed))
+        t = 0.0
+        for gap in gaps:
+            t += gap
+            value = proc.sample(t)
+            assert -100.0 < value < 100.0
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_repeated_same_time_queries_stable(self, seed):
+        proc = GaussMarkovProcess(4.0, 1.0, random.Random(seed))
+        proc.sample(1.0)
+        a = proc.sample(2.5)
+        assert proc.sample(2.5) == a
+        assert proc.sample(2.5) == a
+
+
+class TestChannelModelProperties:
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.floats(min_value=10.0, max_value=400.0, allow_nan=False),
+        st.lists(
+            st.floats(min_value=0.01, max_value=3.0, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry_at_all_times(self, seed, distance, gaps):
+        positions = {0: Vec2(0, 0), 1: Vec2(distance, 0)}
+        model = ChannelModel(
+            ChannelConfig(), RandomStreams(seed), lambda nid, t: positions[nid]
+        )
+        t = 0.0
+        for gap in gaps:
+            t += gap
+            assert model.state(0, 1, t) == model.state(1, 0, t)
+
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.floats(min_value=10.0, max_value=400.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_throughput_always_a_paper_rate(self, seed, distance):
+        positions = {0: Vec2(0, 0), 1: Vec2(distance, 0)}
+        model = ChannelModel(
+            ChannelConfig(), RandomStreams(seed), lambda nid, t: positions[nid]
+        )
+        rate = model.throughput_bps(0, 1, 1.0)
+        assert rate in (250_000.0, 150_000.0, 75_000.0, 50_000.0)
+
+
+class TestMediumProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # sender
+                # All starts within the medium's prune horizon (20 ms):
+                # collided() is only defined for recent transmissions (it
+                # is queried at completion time by the MAC).
+                st.floats(min_value=0.0, max_value=0.01, allow_nan=False),
+                st.floats(min_value=0.0001, max_value=0.003, allow_nan=False),  # dur
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_collision_symmetric_in_overlap(self, txs):
+        """If two transmissions overlap, each collides the other at any
+        receiver within range of both senders."""
+        positions = {i: Vec2(i * 50.0, 0.0) for i in range(5)}
+        config = ChannelConfig(shadow_sigma_db=0.0, fast_sigma_db=0.0)
+        channel = ChannelModel(config, RandomStreams(1), lambda nid, t: positions[nid])
+        medium = CommonChannelMedium(channel)
+        records = []
+        for sender, start, dur in sorted(txs, key=lambda x: x[1]):
+            records.append(medium.begin(sender, start, start + dur, Packet(10, start)))
+        receiver = 4  # within 500 m of every sender
+        for a in records:
+            for b in records:
+                if a is b or not a.overlaps(b):
+                    continue
+                assert medium.collided(a, receiver)
+                assert medium.collided(b, receiver)
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_overlap_is_symmetric(self, s1, s2):
+        pkt = Packet(10, 0.0)
+        a = Transmission(0, s1, s1 + 0.01, pkt)
+        b = Transmission(1, s2, s2 + 0.01, pkt)
+        assert a.overlaps(b) == b.overlaps(a)

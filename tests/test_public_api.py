@@ -1,0 +1,59 @@
+"""The public API surface: everything advertised in __all__ importable
+and the README quickstart working verbatim."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_version_matches_pyproject(self):
+        import re
+        from pathlib import Path
+
+        pyproject = Path(repro.__file__).parents[2] / "pyproject.toml"
+        if not pyproject.exists():  # installed without the source tree
+            return
+        text = pyproject.read_text()
+        match = re.search(r'^version = "([^"]+)"', text, re.MULTILINE)
+        assert match is not None
+        assert repro.__version__ == match.group(1)
+
+    def test_readme_quickstart(self):
+        """The exact snippet from README.md (shortened duration)."""
+        from repro import ScenarioConfig, run_scenario
+
+        report = run_scenario(
+            ScenarioConfig(
+                protocol="rica",
+                n_nodes=50,
+                mean_speed_kmh=36.0,
+                rate_pps=10.0,
+                duration_s=5.0,
+                seed=7,
+            )
+        )
+        text = report.summary()
+        assert "delivery percentage" in text
+
+    def test_figure_api_quickstart(self):
+        from repro import run_figure
+
+        result = run_figure(
+            "fig5a", duration_s=3.0, trials=1, protocols=["aodv"], n_nodes=12
+        )
+        assert "fig5a" in result.format_table()
+
+    def test_protocol_listing_stable(self):
+        assert repro.available_protocols() == [
+            "rica",
+            "bgca",
+            "abr",
+            "aodv",
+            "link_state",
+        ]
+
+    def test_figure_listing_stable(self):
+        assert len(repro.list_figures()) == 10

@@ -1,0 +1,117 @@
+"""Unit tests for the drop-tail queue with residence timeout."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.queue import DropTailQueue, QueueDrop
+
+
+class TestCapacity:
+    def test_push_pop_fifo(self):
+        q = DropTailQueue(5)
+        for i in range(3):
+            assert q.push(i, now=float(i))
+        assert [q.pop(10.0) for _ in range(3)] == [0, 1, 2]
+        assert q.pop(10.0) is None
+
+    def test_drop_when_full(self):
+        drops = []
+        q = DropTailQueue(2, on_drop=lambda item, r: drops.append((item, r)))
+        assert q.push("a", 0.0)
+        assert q.push("b", 0.0)
+        assert not q.push("c", 0.0)
+        assert drops == [("c", QueueDrop.FULL)]
+        assert q.drops_full == 1
+        assert len(q) == 2
+
+    def test_is_full(self):
+        q = DropTailQueue(1)
+        assert not q.is_full
+        q.push("a", 0.0)
+        assert q.is_full
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            DropTailQueue(0)
+
+
+class TestResidence:
+    def test_expired_items_dropped_on_pop(self):
+        drops = []
+        q = DropTailQueue(10, max_residence=3.0, on_drop=lambda i, r: drops.append((i, r)))
+        q.push("old", 0.0)
+        q.push("fresh", 2.5)
+        assert q.pop(4.0) == "fresh"  # "old" exceeded 3 s
+        assert drops == [("old", QueueDrop.EXPIRED)]
+        assert q.drops_expired == 1
+
+    def test_expire_returns_count(self):
+        q = DropTailQueue(10, max_residence=1.0)
+        q.push("a", 0.0)
+        q.push("b", 0.5)
+        assert q.expire(2.0) == 2
+
+    def test_push_expires_first_making_room(self):
+        q = DropTailQueue(1, max_residence=1.0)
+        q.push("old", 0.0)
+        assert q.push("new", 5.0)  # old expired, so there is room
+        assert q.pop(5.0) == "new"
+
+    def test_exact_boundary_not_expired(self):
+        q = DropTailQueue(10, max_residence=3.0)
+        q.push("a", 1.0)
+        assert q.pop(4.0) == "a"  # residence == 3.0 exactly: still valid
+
+    def test_invalid_residence(self):
+        with pytest.raises(ConfigurationError):
+            DropTailQueue(1, max_residence=0.0)
+
+
+class TestAuxiliary:
+    def test_peek_does_not_remove(self):
+        q = DropTailQueue(5)
+        q.push("a", 0.0)
+        assert q.peek(0.0) == "a"
+        assert len(q) == 1
+
+    def test_requeue_front_preserves_age(self):
+        drops = []
+        q = DropTailQueue(5, max_residence=3.0, on_drop=lambda i, r: drops.append(i))
+        q.push("a", 0.0)
+        item = q.pop(1.0)
+        q.requeue_front(item, 0.0)  # keep original age
+        assert q.pop(4.0) is None  # expired based on the original arrival
+        assert drops == ["a"]
+
+    def test_flush_returns_all_without_drop_callbacks(self):
+        drops = []
+        q = DropTailQueue(5, on_drop=lambda i, r: drops.append(i))
+        q.push("a", 0.0)
+        q.push("b", 0.0)
+        assert q.flush() == ["a", "b"]
+        assert drops == []
+        assert len(q) == 0
+
+    def test_drain_returns_timestamps(self):
+        q = DropTailQueue(5)
+        q.push("a", 1.0)
+        q.push("b", 2.0)
+        assert q.drain() == [(1.0, "a"), (2.0, "b")]
+
+    def test_entries_snapshot(self):
+        q = DropTailQueue(5)
+        q.push("a", 1.0)
+        assert q.entries() == [(1.0, "a")]
+        assert len(q) == 1
+
+    def test_oldest_enqueue_time(self):
+        q = DropTailQueue(5)
+        assert q.oldest_enqueue_time is None
+        q.push("a", 2.5)
+        assert q.oldest_enqueue_time == 2.5
+
+    def test_bool(self):
+        q = DropTailQueue(5)
+        assert not q
+        q.push("a", 0.0)
+        assert q

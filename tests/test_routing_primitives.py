@@ -1,0 +1,156 @@
+"""Unit tests for routing tables, flood caches and pending buffers."""
+
+import pytest
+
+from repro.metrics.collector import DropReason, MetricsCollector
+from repro.net.packet import DataPacket
+from repro.routing.flood import FloodCache
+from repro.routing.pending import PendingBuffers
+from repro.routing.table import RouteEntry, RoutingTable
+
+
+class TestRoutingTable:
+    def test_set_and_get(self):
+        table = RoutingTable()
+        table.set_route(5, next_hop=2, now=1.0, hops=3, csi_distance=4.5)
+        entry = table.get_valid(5, now=1.5)
+        assert entry is not None
+        assert entry.next_hop == 2
+        assert entry.hops == 3
+        assert entry.csi_distance == 4.5
+
+    def test_missing_destination(self):
+        assert RoutingTable().get_valid(1, now=0.0) is None
+
+    def test_invalidate(self):
+        table = RoutingTable()
+        table.set_route(5, next_hop=2, now=0.0)
+        assert table.invalidate(5)
+        assert table.get_valid(5, now=0.0) is None
+        assert not table.invalidate(5)  # already invalid
+
+    def test_invalidate_via_returns_affected(self):
+        table = RoutingTable()
+        table.set_route(5, next_hop=2, now=0.0)
+        table.set_route(6, next_hop=2, now=0.0)
+        table.set_route(7, next_hop=3, now=0.0)
+        affected = table.invalidate_via(2)
+        assert sorted(affected) == [5, 6]
+        assert table.get_valid(7, now=0.0) is not None
+
+    def test_idle_expiry(self):
+        table = RoutingTable()
+        table.set_route(5, next_hop=2, now=0.0)
+        assert table.get_valid(5, now=0.9, max_idle=1.0) is not None
+        assert table.get_valid(5, now=1.1, max_idle=1.0) is None  # expired
+        # Expiry is sticky: the entry was invalidated.
+        assert table.get_valid(5, now=0.95, max_idle=1.0) is None
+
+    def test_touch_extends_idle_lifetime(self):
+        table = RoutingTable()
+        entry = table.set_route(5, next_hop=2, now=0.0)
+        entry.touch(0.9)
+        assert table.get_valid(5, now=1.5, max_idle=1.0) is not None
+
+    def test_replace_route(self):
+        table = RoutingTable()
+        table.set_route(5, next_hop=2, now=0.0)
+        table.set_route(5, next_hop=3, now=1.0)
+        assert table.get_valid(5, now=1.0).next_hop == 3
+
+    def test_valid_destinations(self):
+        table = RoutingTable()
+        table.set_route(5, next_hop=2, now=0.0)
+        table.set_route(6, next_hop=3, now=0.0)
+        table.invalidate(6)
+        assert table.valid_destinations(now=0.0) == [5]
+
+    def test_len_and_contains(self):
+        table = RoutingTable()
+        table.set_route(5, next_hop=2, now=0.0)
+        assert len(table) == 1 and 5 in table and 6 not in table
+
+
+class TestFloodCache:
+    def test_first_is_new(self):
+        cache = FloodCache()
+        assert cache.check_and_add(("rreq", 1, 2, 1))
+        assert not cache.check_and_add(("rreq", 1, 2, 1))
+
+    def test_different_keys_independent(self):
+        cache = FloodCache()
+        assert cache.check_and_add(("a", 1))
+        assert cache.check_and_add(("a", 2))
+
+    def test_bounded_size(self):
+        cache = FloodCache(max_entries=64)
+        for i in range(1000):
+            cache.check_and_add(("k", i))
+        assert len(cache) <= 64
+
+    def test_pruning_drops_oldest(self):
+        cache = FloodCache(max_entries=64)
+        for i in range(100):
+            cache.check_and_add(("k", i))
+        # The newest keys must still be remembered.
+        assert ("k", 99) in cache
+        # Some of the oldest were forgotten (would be accepted again).
+        assert cache.check_and_add(("k", 0))
+
+    def test_clear(self):
+        cache = FloodCache()
+        cache.check_and_add(("x",))
+        cache.clear()
+        assert cache.check_and_add(("x",))
+
+
+class TestPendingBuffers:
+    def _pkt(self, dst, created=0.0):
+        return DataPacket(src=0, dst=dst, seq=1, created_at=created)
+
+    def test_hold_and_release_fifo(self):
+        metrics = MetricsCollector(10.0)
+        pending = PendingBuffers(metrics)
+        pkts = [self._pkt(5) for _ in range(3)]
+        for p in pkts:
+            pending.hold(p, now=0.0)
+        released = pending.release(5, now=1.0)
+        assert [p.uid for p in released] == [p.uid for p in pkts]
+        assert pending.release(5, now=1.0) == []
+
+    def test_capacity_overflow_recorded(self):
+        metrics = MetricsCollector(10.0)
+        pending = PendingBuffers(metrics, capacity=2)
+        for _ in range(4):
+            pending.hold(self._pkt(5), now=0.0)
+        assert metrics.drops[DropReason.PENDING_OVERFLOW] == 2
+
+    def test_residence_timeout_recorded(self):
+        metrics = MetricsCollector(10.0)
+        pending = PendingBuffers(metrics, max_residence_s=3.0)
+        pending.hold(self._pkt(5), now=0.0)
+        assert pending.release(5, now=4.0) == []
+        assert metrics.drops[DropReason.PENDING_TIMEOUT] == 1
+
+    def test_drop_all(self):
+        metrics = MetricsCollector(10.0)
+        pending = PendingBuffers(metrics)
+        pending.hold(self._pkt(5), now=0.0)
+        pending.hold(self._pkt(5), now=0.0)
+        assert pending.drop_all(5, DropReason.NO_ROUTE) == 2
+        assert metrics.drops[DropReason.NO_ROUTE] == 2
+
+    def test_destinations_isolated(self):
+        metrics = MetricsCollector(10.0)
+        pending = PendingBuffers(metrics)
+        pending.hold(self._pkt(5), now=0.0)
+        pending.hold(self._pkt(6), now=0.0)
+        assert len(pending.release(5, now=0.1)) == 1
+        assert pending.pending_count(6) == 1
+
+    def test_hold_for_explicit_key(self):
+        metrics = MetricsCollector(10.0)
+        pending = PendingBuffers(metrics)
+        pending.hold_for(9, self._pkt(5), now=0.0)
+        assert pending.pending_count(9) == 1
+        assert pending.pending_count(5) == 0

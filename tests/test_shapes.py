@@ -1,0 +1,89 @@
+"""Tests for the shape-check utilities."""
+
+import math
+
+import pytest
+
+from repro.analysis.shapes import (
+    ShapeCheck,
+    crossover_point,
+    evaluate_checks,
+    is_decreasing,
+    is_increasing,
+    ordering_holds,
+    ratio,
+    trend_slope,
+)
+from repro.errors import ConfigurationError
+
+
+class TestOrdering:
+    def test_strict_ordering(self):
+        values = {"abr": 10.0, "aodv": 20.0, "rica": 50.0}
+        assert ordering_holds(values, ["abr", "aodv", "rica"])
+        assert not ordering_holds(values, ["rica", "aodv", "abr"])
+
+    def test_tolerance_allows_near_ties(self):
+        values = {"a": 10.5, "b": 10.0}
+        assert not ordering_holds(values, ["a", "b"])
+        assert ordering_holds(values, ["a", "b"], tolerance=0.10)
+
+    def test_equal_values_pass(self):
+        assert ordering_holds({"a": 5.0, "b": 5.0}, ["a", "b"])
+
+
+class TestTrends:
+    def test_slope_of_line(self):
+        xs = [0.0, 1.0, 2.0, 3.0]
+        ys = [1.0, 3.0, 5.0, 7.0]
+        assert trend_slope(xs, ys) == pytest.approx(2.0)
+
+    def test_increasing_decreasing(self):
+        xs = [0, 10, 20, 30]
+        assert is_increasing(xs, [1, 2, 2.5, 4])
+        assert is_decreasing(xs, [4, 3, 2.5, 1])
+        assert not is_increasing(xs, [4, 3, 2, 1])
+
+    def test_flat_series_slope_zero(self):
+        assert trend_slope([0, 1, 2], [5, 5, 5]) == 0.0
+
+    def test_degenerate_xs(self):
+        assert trend_slope([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_invalid_input(self):
+        with pytest.raises(ConfigurationError):
+            trend_slope([1], [1])
+        with pytest.raises(ConfigurationError):
+            trend_slope([1, 2], [1, 2, 3])
+
+
+class TestCrossover:
+    def test_finds_crossover(self):
+        xs = [0.0, 10.0, 20.0]
+        abr = [5.0, 15.0, 25.0]  # grows fast (ABR delay)
+        aodv = [10.0, 15.0, 20.0]
+        x = crossover_point(xs, abr, aodv)
+        assert x == pytest.approx(10.0)
+
+    def test_interpolates_between_points(self):
+        xs = [0.0, 10.0]
+        a = [0.0, 10.0]
+        b = [5.0, 5.0]
+        assert crossover_point(xs, a, b) == pytest.approx(5.0)
+
+    def test_no_crossover_is_nan(self):
+        xs = [0.0, 10.0]
+        assert math.isnan(crossover_point(xs, [1.0, 2.0], [5.0, 6.0]))
+
+
+class TestHelpers:
+    def test_ratio(self):
+        assert ratio(10.0, 2.0) == 5.0
+        assert ratio(1.0, 0.0) == float("inf")
+
+    def test_evaluate_checks(self):
+        checks = [ShapeCheck("a", True, "ok"), ShapeCheck("b", False)]
+        passed, total, lines = evaluate_checks(checks)
+        assert (passed, total) == (1, 2)
+        assert lines[0].startswith("[PASS] a")
+        assert lines[1].startswith("[FAIL] b")

@@ -1,0 +1,71 @@
+"""Unit tests for periodic timers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.timers import PeriodicTimer
+
+
+class TestPeriodicTimer:
+    def test_fires_every_interval(self, sim):
+        times = []
+        PeriodicTimer(sim, 1.0, lambda: times.append(sim.now)).start()
+        sim.run(until=3.5)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_start_delay_offsets_first_tick(self, sim):
+        times = []
+        PeriodicTimer(sim, 1.0, lambda: times.append(sim.now), start_delay=0.25).start()
+        sim.run(until=2.5)
+        assert times == [0.25, 1.25, 2.25]
+
+    def test_cancel_stops_ticks(self, sim):
+        times = []
+        timer = PeriodicTimer(sim, 1.0, lambda: times.append(sim.now)).start()
+        sim.schedule(2.5, timer.cancel)
+        sim.run(until=10.0)
+        assert times == [1.0, 2.0]
+        assert not timer.running
+
+    def test_callback_may_cancel_self(self, sim):
+        times = []
+        timer = PeriodicTimer(sim, 1.0, lambda: (times.append(sim.now), timer.cancel()))
+        timer.start()
+        sim.run(until=10.0)
+        assert times == [1.0]
+
+    def test_reschedule_changes_interval(self, sim):
+        times = []
+        timer = PeriodicTimer(sim, 1.0, lambda: times.append(sim.now)).start()
+        sim.schedule(1.5, timer.reschedule, 2.0)
+        sim.run(until=6.5)
+        # tick at 1.0, re-armed before reschedule applies from next arming
+        assert times[0] == 1.0
+        assert times[1] == 2.0  # already armed with old interval
+        assert times[2] == 4.0  # new interval in force
+
+    def test_restart_resets_phase(self, sim):
+        times = []
+        timer = PeriodicTimer(sim, 1.0, lambda: times.append(sim.now)).start()
+        sim.schedule(1.5, timer.start)  # restart mid-cycle
+        sim.run(until=3.9)
+        assert times == [1.0, 2.5, 3.5]
+
+    def test_tick_counter(self, sim):
+        timer = PeriodicTimer(sim, 0.5, lambda: None).start()
+        sim.run(until=2.6)
+        assert timer.ticks == 5
+
+    def test_invalid_interval_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            PeriodicTimer(sim, 0.0, lambda: None)
+        with pytest.raises(SimulationError):
+            PeriodicTimer(sim, -1.0, lambda: None)
+
+    def test_reschedule_invalid_interval_rejected(self, sim):
+        timer = PeriodicTimer(sim, 1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            timer.reschedule(0.0)
+
+    def test_cancel_before_start_is_safe(self, sim):
+        PeriodicTimer(sim, 1.0, lambda: None).cancel()  # no exception

@@ -1,0 +1,103 @@
+"""Tests for the structured tracing subsystem."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.trace import TraceEvent, Tracer
+
+
+class TestTracer:
+    def test_emit_and_len(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "discovery", 0, dest=5)
+        tracer.emit(2.0, "route_established", 0, dest=5)
+        assert len(tracer) == 2
+        assert tracer.counts["discovery"] == 1
+
+    def test_query_filters(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "a", 0)
+        tracer.emit(2.0, "b", 1)
+        tracer.emit(3.0, "a", 1)
+        assert [e.time for e in tracer.query(category="a")] == [1.0, 3.0]
+        assert [e.time for e in tracer.query(node=1)] == [2.0, 3.0]
+        assert [e.time for e in tracer.query(since=2.5)] == [3.0]
+        assert [e.time for e in tracer.query(until=1.5)] == [1.0]
+
+    def test_last(self):
+        tracer = Tracer()
+        assert tracer.last() is None
+        tracer.emit(1.0, "a", 0)
+        tracer.emit(2.0, "b", 0)
+        assert tracer.last().category == "b"
+        assert tracer.last("a").time == 1.0
+
+    def test_ring_buffer_bounded(self):
+        tracer = Tracer(capacity=10)
+        for i in range(100):
+            tracer.emit(float(i), "x", 0)
+        assert len(tracer) == 10
+        assert tracer.last().time == 99.0
+        assert tracer.counts["x"] == 100  # counts survive eviction
+
+    def test_subscription(self):
+        tracer = Tracer()
+        seen = []
+        unsubscribe = tracer.subscribe(seen.append)
+        tracer.emit(1.0, "a", 0)
+        unsubscribe()
+        tracer.emit(2.0, "a", 0)
+        assert len(seen) == 1
+
+    def test_summary_and_str(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "a", 3, dest=7)
+        assert "a" in tracer.summary()
+        text = str(tracer.last())
+        assert "node=  3" in text and "dest=7" in text
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "a", 0)
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.summary() == "(no events)"
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            Tracer(capacity=0)
+
+
+class TestScenarioTracing:
+    def test_disabled_by_default(self):
+        scenario = build_scenario(
+            ScenarioConfig(n_nodes=12, n_flows=3, duration_s=4.0, field_size_m=500.0)
+        )
+        assert scenario.tracer is None
+        assert all(p.tracer is None for p in scenario.protocols)
+
+    def test_records_protocol_lifecycle(self):
+        scenario = build_scenario(
+            ScenarioConfig(
+                protocol="rica",
+                n_nodes=12,
+                n_flows=3,
+                duration_s=6.0,
+                field_size_m=500.0,
+                mean_speed_kmh=36.0,
+                seed=3,
+                enable_trace=True,
+            )
+        )
+        scenario.run()
+        tracer = scenario.tracer
+        assert tracer is not None
+        assert tracer.counts["discovery"] >= 1
+        assert tracer.counts["route_established"] >= 1
+        # Events are well-formed TraceEvents in time order.
+        times = [e.time for e in tracer.query()]
+        assert times == sorted(times)
+        for event in tracer.query(category="route_established"):
+            assert isinstance(event, TraceEvent)
+            assert "dest" in event.fields

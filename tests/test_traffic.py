@@ -1,0 +1,104 @@
+"""Unit tests for traffic generation."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.collector import MetricsCollector
+from repro.traffic.pairs import Flow, choose_flows
+from repro.traffic.poisson import PoissonSource
+
+from tests.helpers import attach_protocols, build_static_network
+
+
+class TestFlow:
+    def test_rate_bps(self):
+        flow = Flow(0, 1, 2, rate_pps=10.0, packet_bytes=512)
+        assert flow.rate_bps == 10.0 * 512 * 8
+
+    def test_invalid_flows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Flow(0, 1, 1, rate_pps=10.0)
+        with pytest.raises(ConfigurationError):
+            Flow(0, 1, 2, rate_pps=0.0)
+
+
+class TestChooseFlows:
+    def test_count_and_validity(self):
+        flows = choose_flows(10, 50, 10.0, random.Random(3))
+        assert len(flows) == 10
+        for f in flows:
+            assert 0 <= f.src < 50 and 0 <= f.dst < 50 and f.src != f.dst
+
+    def test_sources_distinct(self):
+        flows = choose_flows(10, 50, 10.0, random.Random(3))
+        sources = [f.src for f in flows]
+        assert len(set(sources)) == 10
+
+    def test_deterministic(self):
+        a = choose_flows(5, 20, 10.0, random.Random(7))
+        b = choose_flows(5, 20, 10.0, random.Random(7))
+        assert a == b
+
+    def test_too_many_flows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            choose_flows(11, 10, 10.0, random.Random(1))
+        with pytest.raises(ConfigurationError):
+            choose_flows(0, 10, 10.0, random.Random(1))
+
+
+class TestPoissonSource:
+    def test_mean_rate_statistical(self, sim, streams):
+        network, metrics = build_static_network(sim, streams, [(0, 0), (100, 0)])
+        attach_protocols(network, metrics, "aodv")
+        flow = Flow(0, 0, 1, rate_pps=50.0)
+        source = PoissonSource(
+            sim, network.node(0), flow, random.Random(5), metrics, until=20.0
+        )
+        source.start()
+        sim.run(until=25.0)
+        # 50 pkt/s for 20 s = ~1000; Poisson sigma ~ 32.
+        assert 850 <= source.generated <= 1150
+        assert metrics.generated == source.generated
+
+    def test_stops_at_until(self, sim, streams):
+        network, metrics = build_static_network(sim, streams, [(0, 0), (100, 0)])
+        attach_protocols(network, metrics, "aodv")
+        flow = Flow(0, 0, 1, rate_pps=100.0)
+        source = PoissonSource(
+            sim, network.node(0), flow, random.Random(5), metrics, until=1.0
+        )
+        source.start()
+        sim.run(until=10.0)
+        count_at_cutoff = source.generated
+        sim.run(until=20.0)
+        assert source.generated == count_at_cutoff
+
+    def test_sequence_numbers_increment(self, sim, streams):
+        network, metrics = build_static_network(sim, streams, [(0, 0), (100, 0)])
+        seqs = []
+        network.node(0).routing = type(
+            "Stub", (), {"handle_app_packet": lambda self, p: seqs.append(p.seq)}
+        )()
+        flow = Flow(0, 0, 1, rate_pps=100.0)
+        PoissonSource(sim, network.node(0), flow, random.Random(5), metrics, until=0.5).start()
+        sim.run(until=1.0)
+        assert seqs == list(range(1, len(seqs) + 1))
+
+    def test_deterministic_given_stream(self, sim, streams):
+        from repro.sim.engine import Simulator
+
+        times = []
+        for _ in range(2):
+            s = Simulator()
+            network, metrics = build_static_network(s, streams.spawn("x"), [(0, 0), (100, 0)])
+            stamps = []
+            network.node(0).routing = type(
+                "Stub", (), {"handle_app_packet": lambda self, p: stamps.append(p.created_at)}
+            )()
+            flow = Flow(0, 0, 1, rate_pps=20.0)
+            PoissonSource(s, network.node(0), flow, random.Random(99), metrics, until=5.0).start()
+            s.run(until=6.0)
+            times.append(stamps)
+        assert times[0] == times[1]
