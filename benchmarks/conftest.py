@@ -15,6 +15,7 @@ Scale knobs (environment variables):
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -25,6 +26,30 @@ BENCH_DURATION = float(os.environ.get("REPRO_BENCH_DURATION", "15"))
 BENCH_TRIALS = int(os.environ.get("REPRO_BENCH_TRIALS", "1"))
 PAPER_SCALE = os.environ.get("REPRO_BENCH_PAPER_SCALE", "") == "1"
 BENCH_SPEEDS = [0.0, 36.0, 72.0]
+
+#: Where micro-benchmark JSON artefacts land (repo root, next to this dir).
+BENCH_ARTIFACT_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="session")
+def bench_json_recorder():
+    """Collect named benchmark records; write ``BENCH_<name>.json`` files.
+
+    A test grabs the recorder and calls ``recorder(name, payload)``; at
+    session end every distinct ``name`` is serialised to
+    ``BENCH_<name>.json`` in the repo root so the perf trajectory of a
+    subsystem is tracked across PRs.
+    """
+    records = {}
+
+    def record(name: str, payload: dict) -> None:
+        records.setdefault(name, {}).update(payload)
+
+    yield record
+    for name, payload in records.items():
+        path = os.path.join(BENCH_ARTIFACT_DIR, f"BENCH_{name}.json")
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
 
 
 def run_figure_once(figure_id: str, benchmark, speeds=None):

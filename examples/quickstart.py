@@ -29,6 +29,12 @@ def main() -> None:
     print()
     print("Aggregate throughput (kbps per 4 s bin):")
     print("  " + " ".join(f"{v:.0f}" for v in report.throughput_series_kbps))
+    print()
+    print("Next steps: sweep a whole grid in parallel with")
+    print("  python -m repro campaign --protocols rica aodv --speeds 0 36 72 \\")
+    print("      --rates 10 --duration 30 --jobs 4 --out campaign.json")
+    print("(--jobs N fans grid cells over N processes; results are identical")
+    print(" to a serial run under the same seeds.)")
 
 
 if __name__ == "__main__":

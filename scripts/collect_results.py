@@ -8,7 +8,7 @@ points double as Figure 5.
 
 Usage::
 
-    python scripts/collect_results.py [--duration 30] [--trials 2] [--out results.json]
+    python scripts/collect_results.py [--duration 30] [--trials 2] [--out results.json] [--jobs 4]
 """
 
 import argparse
@@ -39,6 +39,10 @@ def main():
     parser.add_argument("--trials", type=int, default=2)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--out", default="results.json")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for sweep points (results identical to serial)",
+    )
     args = parser.parse_args()
 
     t0 = time.time()
@@ -51,7 +55,9 @@ def main():
     }
     for rate in (10.0, 20.0):
         base = ScenarioConfig(duration_s=args.duration, rate_pps=rate, seed=args.seed)
-        sweep = run_speed_sweep(base, available_protocols(), SPEEDS, trials=args.trials)
+        sweep = run_speed_sweep(
+            base, available_protocols(), SPEEDS, trials=args.trials, jobs=args.jobs
+        )
         results["sweeps"][str(int(rate))] = {
             proto: [agg_to_dict(agg) for agg in aggs] for proto, aggs in sweep.items()
         }

@@ -44,6 +44,9 @@ from repro.experiments import (
 from repro.experiments import (
     CampaignResult,
     CampaignSpec,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
     load_results,
     run_campaign,
     save_results,
@@ -52,6 +55,7 @@ from repro.metrics import MetricsCollector, MetricsReport
 from repro.metrics.energy import EnergyModel
 from repro.routing import available_protocols, create_protocol
 from repro.sim import RandomStreams, Simulator
+from repro.topology import TopologyIndex
 from repro.trace import TraceEvent, Tracer
 
 __all__ = [
@@ -81,6 +85,10 @@ __all__ = [
     "Simulator",
     "CampaignResult",
     "CampaignSpec",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "TopologyIndex",
     "load_results",
     "run_campaign",
     "save_results",

@@ -12,7 +12,7 @@ quality of the reverse transmission.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Sequence, Tuple
 
 from repro.channel.abicm import AbicmScheme
 from repro.channel.csi import ChannelClass, CsiThresholds, hop_distance
@@ -108,7 +108,14 @@ class ChannelModel:
     # ------------------------------------------------------------------
     def snr_db(self, a: int, b: int, t: float) -> float:
         """Instantaneous SNR (dB) of the a<->b channel at time ``t``."""
-        mean = self._config.path_loss.mean_snr_db(self.distance(a, b, t))
+        return self._snr_db_from(self._position_fn(a, t), a, b, t)
+
+    def _snr_db_from(self, origin: Vec2, a: int, b: int, t: float) -> float:
+        """SNR with the origin position precomputed (shared by the batched
+        lookups, which fetch it once per neighbour set)."""
+        mean = self._config.path_loss.mean_snr_db(
+            origin.distance_to(self._position_fn(b, t))
+        )
         self.samples_taken += 1
         return mean + self._fading_process(a, b).sample(t)
 
@@ -123,6 +130,25 @@ class ChannelModel:
     def csi_hop_distance(self, a: int, b: int, t: float) -> float:
         """CSI-based hop distance of the a<->b link at time ``t``."""
         return hop_distance(self.state(a, b, t))
+
+    # ------------------------------------------------------------------
+    # Batched lookups (one origin-position fetch for a whole neighbour set)
+    # ------------------------------------------------------------------
+    def states(self, a: int, others: Sequence[int], t: float) -> Dict[int, ChannelClass]:
+        """CSI classes of every a<->b channel for ``b`` in ``others``.
+
+        Equivalent to ``{b: self.state(a, b, t) for b in others}`` but
+        samples the origin position once; with the network's topology
+        index supplying ``position_fn``, the per-pair cost is one cached
+        position lookup plus the fading sample.
+        """
+        origin = self._position_fn(a, t)
+        classify = self._config.thresholds.classify
+        return {b: classify(self._snr_db_from(origin, a, b, t)) for b in others}
+
+    def csi_hop_distances(self, a: int, others: Sequence[int], t: float) -> Dict[int, float]:
+        """CSI hop distances of every a<->b link for ``b`` in ``others``."""
+        return {b: hop_distance(s) for b, s in self.states(a, others, t).items()}
 
     def transmission_time(self, a: int, b: int, t: float, bits: int) -> float:
         """Seconds to transmit ``bits`` over the a<->b data channel at ``t``."""

@@ -10,6 +10,10 @@ Examples::
     python -m repro figure fig2a
     python -m repro figure fig3b --paper-scale
 
+    # A full scenario grid, fanned out over 4 worker processes
+    python -m repro campaign --protocols rica aodv --speeds 0 36 72 \\
+        --rates 10 20 --duration 30 --trials 2 --jobs 4 --out campaign.json
+
     # What exists
     python -m repro list
 """
@@ -21,6 +25,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.tables import format_table
+from repro.experiments.campaign import CampaignSpec, run_campaign, save_results
 from repro.experiments.figures import figure_spec, list_figures, run_figure
 from repro.experiments.scenario import ScenarioConfig
 from repro.experiments.sweep import run_trials
@@ -55,6 +60,35 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--seed", type=int, default=1)
     fig_p.add_argument("--protocols", nargs="*", default=None, choices=available_protocols())
     fig_p.add_argument("--plot", action="store_true", help="render an ASCII chart too")
+
+    camp_p = sub.add_parser(
+        "campaign",
+        help="run a (protocol x speed x rate) grid, optionally in parallel",
+    )
+    camp_p.add_argument("--name", default="campaign")
+    camp_p.add_argument(
+        "--protocols", nargs="+", default=None, choices=available_protocols(),
+        help="protocols to sweep (default: all)",
+    )
+    camp_p.add_argument(
+        "--speeds", nargs="+", type=float, default=[0.0, 36.0, 72.0],
+        help="mean speeds, km/h",
+    )
+    camp_p.add_argument(
+        "--rates", nargs="+", type=float, default=[10.0],
+        help="per-flow packet rates, packets/s",
+    )
+    camp_p.add_argument("--duration", type=float, default=30.0, help="simulated seconds")
+    camp_p.add_argument("--trials", type=int, default=1)
+    camp_p.add_argument("--nodes", type=int, default=50)
+    camp_p.add_argument("--flows", type=int, default=10)
+    camp_p.add_argument("--seed", type=int, default=1)
+    camp_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for grid cells (1 = serial; results are "
+        "identical to serial for any N)",
+    )
+    camp_p.add_argument("--out", default=None, help="write results JSON here")
 
     sub.add_parser("list", help="list protocols and figures")
     return parser
@@ -134,6 +168,36 @@ def _render_plot(result) -> str:
     return line_plot(series, xs, title=spec.title, y_label="kbps per 4 s bin")
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    spec = CampaignSpec(
+        name=args.name,
+        base=ScenarioConfig(
+            duration_s=args.duration,
+            n_nodes=args.nodes,
+            n_flows=args.flows,
+            seed=args.seed,
+        ),
+        protocols=args.protocols or available_protocols(),
+        mean_speeds_kmh=args.speeds,
+        rates_pps=args.rates,
+        trials=args.trials,
+    )
+    print(
+        f"# campaign {spec.name!r}: {spec.cells} cells x {spec.trials} trial(s), "
+        f"{args.duration:.0f}s each, jobs={args.jobs}"
+    )
+    result = run_campaign(spec, progress=lambda key: print(f"  done {key}"), jobs=args.jobs)
+    rows = [
+        [key, agg.avg_delay_ms, agg.delivery_pct, agg.overhead_kbps]
+        for key, agg in result.cells.items()
+    ]
+    print(format_table(["cell", "delay (ms)", "delivery (%)", "overhead (kbps)"], rows))
+    if args.out:
+        save_results(result, args.out)
+        print(f"# wrote {args.out}")
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("protocols:")
     for name in available_protocols():
@@ -148,7 +212,12 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    handlers = {"run": _cmd_run, "figure": _cmd_figure, "list": _cmd_list}
+    handlers = {
+        "run": _cmd_run,
+        "figure": _cmd_figure,
+        "campaign": _cmd_campaign,
+        "list": _cmd_list,
+    }
     return handlers[args.command](args)
 
 

@@ -16,6 +16,12 @@ from repro.experiments.campaign import (
     run_campaign,
     save_results,
 )
+from repro.experiments.backend import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    resolve_backend,
+)
 
 __all__ = [
     "ScenarioConfig",
@@ -34,4 +40,8 @@ __all__ = [
     "load_results",
     "run_campaign",
     "save_results",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "resolve_backend",
 ]

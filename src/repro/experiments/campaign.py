@@ -5,16 +5,23 @@ A *campaign* is the unit of reproduction work: a named grid of scenarios
 serialised to JSON so analysis (EXPERIMENTS.md, plots) never needs to
 re-simulate.  ``scripts/collect_results.py`` is a thin wrapper around this
 module.
+
+Cells are independent, so execution is delegated to a pluggable
+:class:`~repro.experiments.backend.ExecutionBackend`: ``run_campaign(...,
+jobs=N)`` (or ``repro campaign --jobs N``) fans the grid out over a
+process pool, with per-cell seed derivation guaranteeing results
+byte-identical to the serial run.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import AggregateMetrics
 from repro.errors import ConfigurationError
+from repro.experiments.backend import ExecutionBackend, resolve_backend
 from repro.experiments.scenario import ScenarioConfig
 from repro.experiments.sweep import run_trials
 
@@ -44,6 +51,18 @@ class CampaignSpec:
     def cells(self) -> int:
         """Number of (protocol, speed, rate) grid cells."""
         return len(self.protocols) * len(self.mean_speeds_kmh) * len(self.rates_pps)
+
+    def cell_configs(self) -> List[Tuple[str, ScenarioConfig]]:
+        """The grid as ``(key, config)`` pairs in canonical execution order."""
+        out: List[Tuple[str, ScenarioConfig]] = []
+        for rate in self.rates_pps:
+            for protocol in self.protocols:
+                for speed in self.mean_speeds_kmh:
+                    config = self.base.with_(
+                        protocol=protocol, mean_speed_kmh=speed, rate_pps=rate
+                    )
+                    out.append((CampaignResult.key(protocol, speed, rate), config))
+        return out
 
 
 @dataclass
@@ -76,22 +95,36 @@ class CampaignResult:
         return [getattr(self.get(protocol, s, rate_pps), metric) for s in speeds]
 
 
+def _run_cell(item: Tuple[str, ScenarioConfig, int]) -> Tuple[str, AggregateMetrics]:
+    """Execute one grid cell (module-level so process pools can pickle it)."""
+    key, config, trials = item
+    return key, run_trials(config, trials)
+
+
 def run_campaign(
     spec: CampaignSpec,
     progress: Optional[Callable[[str], None]] = None,
+    backend: Optional[ExecutionBackend] = None,
+    jobs: Optional[int] = None,
 ) -> CampaignResult:
-    """Execute every cell of the grid (trial-averaged)."""
+    """Execute every cell of the grid (trial-averaged).
+
+    Args:
+        spec: the campaign grid.
+        progress: optional callback invoked with each cell key as its
+            result is collected (in canonical order).
+        backend: explicit execution backend; mutually exclusive with
+            ``jobs``.
+        jobs: shorthand for a process-pool backend with ``jobs`` workers
+            (``None``/1 runs serially).  Results are byte-identical to the
+            serial run regardless of worker count.
+    """
     result = CampaignResult(spec.name, spec.base.duration_s, spec.trials)
-    for rate in spec.rates_pps:
-        for protocol in spec.protocols:
-            for speed in spec.mean_speeds_kmh:
-                config = spec.base.with_(
-                    protocol=protocol, mean_speed_kmh=speed, rate_pps=rate
-                )
-                key = CampaignResult.key(protocol, speed, rate)
-                result.cells[key] = run_trials(config, spec.trials)
-                if progress is not None:
-                    progress(key)
+    items = [(key, config, spec.trials) for key, config in spec.cell_configs()]
+    for key, agg in resolve_backend(backend, jobs).map(_run_cell, items):
+        result.cells[key] = agg
+        if progress is not None:
+            progress(key)
     return result
 
 

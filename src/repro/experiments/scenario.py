@@ -68,6 +68,10 @@ class ScenarioConfig:
     warmup_s: float = 0.0
     #: Mobility model: "waypoint" (the paper's), "direction" (extension).
     mobility_model: str = "waypoint"
+    #: Topology-index position quantum (s).  0 samples positions at exact
+    #: query times; > 0 freezes them per quantum (faster, positions stale
+    #: by at most one quantum — see docs/ARCHITECTURE.md).
+    position_epoch_s: float = 0.0
     #: Attach a structured tracer (repro.trace) to every protocol instance.
     enable_trace: bool = False
 
@@ -80,6 +84,8 @@ class ScenarioConfig:
             raise ConfigurationError("duration_s must be positive")
         if not (0.0 <= self.warmup_s < self.duration_s):
             raise ConfigurationError("warmup_s must lie in [0, duration_s)")
+        if self.position_epoch_s < 0:
+            raise ConfigurationError("position_epoch_s must be >= 0")
         if self.mobility_model not in ("waypoint", "direction"):
             raise ConfigurationError(
                 f"unknown mobility model {self.mobility_model!r}; "
@@ -141,6 +147,7 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
         channel_config=config.channel,
         mac_config=config.mac,
         datalink_config=config.datalink,
+        position_epoch_s=config.position_epoch_s,
     )
     mobility_cls = RandomWaypoint if config.mobility_model == "waypoint" else RandomDirection
     for i in range(config.n_nodes):

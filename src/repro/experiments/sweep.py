@@ -1,10 +1,17 @@
-"""Multi-trial execution and parameter sweeps."""
+"""Multi-trial execution and parameter sweeps.
+
+Sweep points are independent grid cells; like campaigns they execute
+through a pluggable :class:`~repro.experiments.backend.ExecutionBackend`
+(``jobs=N`` fans points out over a process pool with results identical to
+the serial run).
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import AggregateMetrics, aggregate_reports
+from repro.experiments.backend import ExecutionBackend, resolve_backend
 from repro.experiments.scenario import ScenarioConfig, run_scenario
 from repro.metrics.report import MetricsReport
 from repro.sim.rng import derive_seed
@@ -25,21 +32,34 @@ def run_trials(config: ScenarioConfig, trials: int) -> AggregateMetrics:
     return aggregate_reports(reports)
 
 
+def _run_point(item: Tuple[ScenarioConfig, int]) -> AggregateMetrics:
+    """One sweep point (module-level so process pools can pickle it)."""
+    config, trials = item
+    return run_trials(config, trials)
+
+
 def run_speed_sweep(
     base: ScenarioConfig,
     protocols: Sequence[str],
     mean_speeds_kmh: Sequence[float],
     trials: int = 1,
+    backend: Optional[ExecutionBackend] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, List[AggregateMetrics]]:
     """The paper's core experiment shape: metric vs. mean mobile speed.
 
     Returns ``{protocol: [aggregate for each speed, in input order]}``.
+    Seeds are derived per point from ``base.seed``, so serial and
+    parallel execution produce identical results.
     """
-    results: Dict[str, List[AggregateMetrics]] = {}
-    for name in protocols:
-        per_speed = []
-        for speed in mean_speeds_kmh:
-            cfg = base.with_(protocol=name, mean_speed_kmh=speed)
-            per_speed.append(run_trials(cfg, trials))
-        results[name] = per_speed
-    return results
+    items = [
+        (base.with_(protocol=name, mean_speed_kmh=speed), trials)
+        for name in protocols
+        for speed in mean_speeds_kmh
+    ]
+    aggs = list(resolve_backend(backend, jobs).map(_run_point, items))
+    n_speeds = len(mean_speeds_kmh)
+    return {
+        name: aggs[i * n_speeds : (i + 1) * n_speeds]
+        for i, name in enumerate(protocols)
+    }

@@ -1,6 +1,7 @@
-"""2-D geometry primitives: vectors and the rectangular simulation field."""
+"""2-D geometry primitives: vectors, the rectangular field, spatial grid."""
 
 from repro.geometry.vector import Vec2, distance
 from repro.geometry.field import Field
+from repro.geometry.grid import UniformGrid, bulk_distances
 
-__all__ = ["Vec2", "distance", "Field"]
+__all__ = ["Vec2", "distance", "Field", "UniformGrid", "bulk_distances"]

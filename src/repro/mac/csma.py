@@ -36,7 +36,10 @@ __all__ = ["CsmaMac", "MacConfig"]
 
 # Receiver callback: (receiver_id, packet, sender_id)
 DeliverFn = Callable[[int, Packet, int], None]
-# Neighbour query: (node_id, time) -> list of node ids in range
+# Neighbour query: (node_id, time) -> list of node ids in range.  The
+# network wires this to its grid-backed TopologyIndex, so the delivery
+# set at transmission start is a cell-neighbourhood scan, not an O(n)
+# sweep of every mobility model.
 NeighborsFn = Callable[[int, float], list]
 
 

@@ -24,12 +24,13 @@ protocol").
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.net.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.channel.model import ChannelModel
+    from repro.topology import TopologyIndex
 
 __all__ = ["Transmission", "CommonChannelMedium"]
 
@@ -65,11 +66,19 @@ class CommonChannelMedium:
     #: 3.2 ms, so 20 ms is a comfortable margin).
     PRUNE_HORIZON_S = 0.02
 
-    def __init__(self, channel: "ChannelModel", cs_range_m: float = 0.0) -> None:
+    def __init__(
+        self,
+        channel: "ChannelModel",
+        cs_range_m: float = 0.0,
+        topology: Optional["TopologyIndex"] = None,
+    ) -> None:
         self._channel = channel
         #: Carrier-sense / interference range in metres; defaults to twice
         #: the decode range when not supplied.
         self.cs_range_m = cs_range_m if cs_range_m > 0 else 2.0 * channel.tx_range
+        # Range probes go through the topology index (cached positions)
+        # when one is attached; the channel's pairwise path otherwise.
+        self._within = topology.within if topology is not None else channel.within
         self._transmissions: List[Transmission] = []
         self.total_transmissions = 0
         self.total_collisions = 0
@@ -90,7 +99,7 @@ class CommonChannelMedium:
                 continue
             if tx.sender == node:
                 return True  # we are transmitting ourselves
-            if self._channel.within(tx.sender, node, t, cs):
+            if self._within(tx.sender, node, t, cs):
                 return True
         return False
 
@@ -103,7 +112,7 @@ class CommonChannelMedium:
             if other.sender == receiver:
                 return True  # half-duplex: receiver was transmitting
             overlap_t = max(tx.start, other.start)
-            if self._channel.within(other.sender, receiver, overlap_t, cs):
+            if self._within(other.sender, receiver, overlap_t, cs):
                 return True
         return False
 

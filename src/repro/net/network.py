@@ -6,6 +6,13 @@ Section III-A: it owns the :class:`~repro.channel.model.ChannelModel`, the
 :class:`~repro.net.node.Node` objects, wires each node's MAC and data link
 to the shared substrate, and answers topology queries (positions,
 neighbour sets) for every layer.
+
+Topology queries delegate to a :class:`~repro.topology.TopologyIndex` — a
+uniform spatial hash grid over per-epoch-cached positions — so
+``neighbors()`` costs a cell-neighbourhood scan instead of the seed's
+O(n) mobility re-evaluation per query.  The ``Network`` methods remain
+the stable facade; new code that needs richer queries (arbitrary radii,
+bulk maps) can reach ``network.topology`` directly.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from repro.net.node import Node
 from repro.net.packet import DataPacket, Packet
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
+from repro.topology import TopologyIndex
 
 __all__ = ["Network"]
 
@@ -41,18 +49,24 @@ class Network:
         channel_config: Optional[ChannelConfig] = None,
         mac_config: Optional[MacConfig] = None,
         datalink_config: Optional[DataLinkConfig] = None,
+        position_epoch_s: float = 0.0,
     ) -> None:
         self.sim = sim
         self.field = field
         self.streams = streams
         self.metrics = metrics
-        self.channel = ChannelModel(
-            channel_config or ChannelConfig(), streams, self.position
+        channel_config = channel_config or ChannelConfig()
+        self.topology = TopologyIndex(
+            field,
+            radius=channel_config.path_loss.tx_range,
+            quantum=position_epoch_s,
         )
+        self.channel = ChannelModel(channel_config, streams, self.position)
         self._mac_config = mac_config or MacConfig()
         self.medium = CommonChannelMedium(
             self.channel,
             cs_range_m=self._mac_config.cs_range_factor * self.channel.tx_range,
+            topology=self.topology,
         )
         self._datalink_config = datalink_config or DataLinkConfig()
         self._nodes: Dict[int, Node] = {}
@@ -89,6 +103,7 @@ class Network:
             on_link_failure=lambda nh, pkt, rest, n=node: n.on_link_failure(nh, pkt, rest),
         )
         self._nodes[nid] = node
+        self.topology.add(nid, node.position)
         return node
 
     # ------------------------------------------------------------------
@@ -116,24 +131,21 @@ class Network:
         return [self._nodes[nid] for nid in sorted(self._nodes)]
 
     def position(self, node_id: int, t: float) -> Vec2:
-        """Exact position of ``node_id`` at time ``t``."""
-        return self.node(node_id).position(t)
+        """Position of ``node_id`` at time ``t`` (epoch-cached; exact when
+        the index quantum is 0, the default)."""
+        return self.topology.position(node_id, t)
 
     def neighbors(self, node_id: int, t: float) -> List[int]:
-        """Ids of all nodes within transmission range of ``node_id`` at ``t``."""
-        origin = self.position(node_id, t)
-        tx_range = self.channel.tx_range
-        result = []
-        for nid, node in self._nodes.items():
-            if nid == node_id:
-                continue
-            if origin.distance_to(node.position(t)) <= tx_range:
-                result.append(nid)
-        return result
+        """Ids of all nodes within transmission range of ``node_id`` at
+        ``t``, ascending (grid-backed)."""
+        return self.topology.neighbors(node_id, t)
 
     def adjacency(self, t: float) -> Dict[int, List[int]]:
         """Full neighbour map at time ``t`` (used by link-state install)."""
-        return {nid: self.neighbors(nid, t) for nid in self._nodes}
+        return self.topology.neighbor_map(t)
+
+    #: Alias for :meth:`adjacency` matching the topology-index vocabulary.
+    neighbor_map = adjacency
 
     # ------------------------------------------------------------------
     # Dispatch (MAC/data-link delivery callbacks)

@@ -82,11 +82,10 @@ class LinkStateProtocol(RoutingProtocol):
 
     def _install_accurate_view(self) -> None:
         now = self.sim.now
-        for u in self.network.node_ids:
-            links: Dict[int, float] = {}
-            for v in self.network.neighbors(u, now):
-                links[v] = self.channel.csi_hop_distance(u, v, now)
-            self.adj[u] = links
+        # One bulk neighbour map from the topology index, then batched CSI
+        # lookups per row (one origin-position fetch per terminal).
+        for u, nbrs in self.network.adjacency(now).items():
+            self.adj[u] = self.channel.csi_hop_distances(u, nbrs, now)
         self._next_hop_cache = None
 
     # ------------------------------------------------------------------
@@ -95,9 +94,9 @@ class LinkStateProtocol(RoutingProtocol):
     def _monitor_links(self) -> None:
         now = self.sim.now
         me = self.node.id
-        current: Dict[int, float] = {}
-        for v in self.network.neighbors(me, now):
-            current[v] = self.channel.csi_hop_distance(me, v, now)
+        current: Dict[int, float] = self.channel.csi_hop_distances(
+            me, self.network.neighbors(me, now), now
+        )
         advertised = self.adj.get(me, {})
         changes: List[Tuple[int, float]] = []
         for v, cost in current.items():

@@ -102,9 +102,10 @@ class Simulator:
             until: if given, stop once the next event would fire strictly
                 after this time; the clock is then advanced to ``until`` so
                 that ``sim.now == until`` holds after the call.
-            max_events: optional safety valve; raise SimulationError if more
-                than this many events fire (guards against runaway loops in
-                tests).
+            max_events: optional safety valve; raise SimulationError as
+                soon as a ``max_events + 1``-th event *would* fire —
+                checked before firing, so at most ``max_events`` events
+                ever run (guards against runaway loops in tests).
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
@@ -121,29 +122,36 @@ class Simulator:
                     break
                 if self._stopped:
                     break
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
                 heapq.heappop(self._queue)
                 self._now = head.time
                 head._fire()
                 self._events_processed += 1
                 fired += 1
-                if max_events is not None and fired > max_events:
-                    raise SimulationError(f"exceeded max_events={max_events}")
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
         finally:
             self._running = False
 
     def step(self) -> bool:
-        """Fire exactly one pending event.  Returns False if queue is empty."""
-        while self._queue:
-            head = heapq.heappop(self._queue)
-            if head.cancelled:
-                continue
-            self._now = head.time
-            head._fire()
-            self._events_processed += 1
-            return True
-        return False
+        """Fire exactly one pending event.
+
+        Returns False without firing if the queue is empty or
+        :meth:`stop` has been requested (``run()`` clears the stop flag
+        when it next starts).  Uses the same lazy-cancel sweep as
+        :meth:`peek_time`, so ``step()`` and ``run()`` always agree on
+        which event is next.
+        """
+        if self._stopped:
+            return False
+        if self.peek_time() is None:
+            return False
+        head = heapq.heappop(self._queue)
+        self._now = head.time
+        head._fire()
+        self._events_processed += 1
+        return True
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""

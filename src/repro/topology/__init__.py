@@ -1,0 +1,9 @@
+"""Spatial topology index: the shared position/neighbour hot path.
+
+See :mod:`repro.topology.index` for the design and the staleness
+contract, and docs/ARCHITECTURE.md for how the layers consume it.
+"""
+
+from repro.topology.index import TopologyIndex
+
+__all__ = ["TopologyIndex"]

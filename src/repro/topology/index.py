@@ -1,0 +1,315 @@
+"""The spatial topology index: cached positions + grid-backed neighbours.
+
+Every layer of the simulator asks the same two questions in its innermost
+loop — *where is node i now?* and *who is within range of node i now?*.
+The seed implementation answered both by brute force: every
+``Network.neighbors()`` call re-evaluated every node's mobility model and
+scanned all n terminals (O(n²) per MAC transmission).  The
+:class:`TopologyIndex` replaces that hot path with:
+
+* **Per-epoch position caching** — positions are sampled from the mobility
+  models once per time quantum (exact query time when ``quantum == 0``,
+  the default) and shared by every consumer: neighbour queries, channel
+  gain lookups, carrier sensing.  A small LRU of recent epochs keeps the
+  MAC's queries at transmission-start times (slightly in the past) cheap.
+* **A uniform spatial hash grid** — nodes are binned into cells of
+  ``cell_size`` metres (default: the neighbour radius), so a radius query
+  inspects only the 3x3-ish cell neighbourhood instead of all nodes.
+* **Incremental neighbour-set maintenance** — each epoch's cell buckets
+  are derived copy-on-write from the previous epoch's: only nodes that
+  crossed a cell boundary move buckets, everything else is shared.
+
+Staleness contract: with ``quantum == 0`` every answer is exact.  With
+``quantum > 0`` positions are frozen at the start of each quantum, so any
+position/neighbour answer can be stale by up to ``quantum`` seconds of
+node movement (at most ``quantum * max_speed`` metres).  See
+docs/ARCHITECTURE.md.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.geometry.field import Field
+from repro.geometry.grid import Cell, UniformGrid
+from repro.geometry.vector import Vec2
+
+__all__ = ["TopologyIndex"]
+
+PositionFn = Callable[[float], Vec2]
+
+
+class _Snapshot:
+    """Positions and cell buckets at one sampled instant.
+
+    ``candidates`` memoises, per ``(cell, reach)``, the flattened bucket
+    concatenation of the cell's ``(2*reach + 1)²`` neighbourhood — every
+    query from the same cell at the same epoch shares one list.
+    """
+
+    __slots__ = ("time", "positions", "cells", "cell_of", "candidates")
+
+    def __init__(
+        self,
+        time: float,
+        positions: Dict[int, Vec2],
+        cells: Dict[Cell, List[int]],
+        cell_of: Dict[int, Cell],
+    ) -> None:
+        self.time = time
+        self.positions = positions
+        self.cells = cells
+        self.cell_of = cell_of
+        self.candidates: Dict[Tuple[int, int, int], List[int]] = {}
+
+
+class TopologyIndex:
+    """Grid-backed, epoch-cached topology queries over a set of nodes.
+
+    Args:
+        field: the simulation field (grid extent).
+        radius: default neighbour radius in metres (the decode range).
+        cell_size: grid cell edge; defaults to ``radius`` (falling back to
+            the field's larger side when ``radius == 0``).
+        quantum: position-sampling time quantum in seconds.  0 (default)
+            samples at exact query times; > 0 snaps query times down to
+            multiples of ``quantum`` (positions may then be stale by up to
+            one quantum).
+        max_snapshots: how many recent epochs to keep cached.
+    """
+
+    def __init__(
+        self,
+        field: Field,
+        radius: float,
+        cell_size: Optional[float] = None,
+        quantum: float = 0.0,
+        max_snapshots: int = 8,
+    ) -> None:
+        if radius < 0:
+            raise ConfigurationError(f"neighbour radius must be >= 0, got {radius}")
+        if quantum < 0:
+            raise ConfigurationError(f"position quantum must be >= 0, got {quantum}")
+        if max_snapshots < 1:
+            raise ConfigurationError("max_snapshots must be >= 1")
+        self.field = field
+        self.radius = float(radius)
+        if cell_size is None:
+            cell_size = radius if radius > 0 else max(field.width, field.height)
+        self.grid = UniformGrid(field.width, field.height, cell_size)
+        self.quantum = float(quantum)
+        self._position_fns: Dict[int, PositionFn] = {}
+        self._snapshots: "OrderedDict[float, _Snapshot]" = OrderedDict()
+        self._max_snapshots = max_snapshots
+        self._latest: Optional[_Snapshot] = None  # fast path: most recent epoch
+        #: Diagnostics: full snapshot builds and incremental bucket moves.
+        self.snapshots_built = 0
+        self.bucket_moves = 0
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add(self, node_id: int, position_fn: PositionFn) -> None:
+        """Register a node's trajectory.  Invalidates cached snapshots."""
+        if node_id in self._position_fns:
+            raise TopologyError(f"node id {node_id} already indexed")
+        self._position_fns[node_id] = position_fn
+        self._snapshots.clear()
+        self._latest = None
+
+    def remove(self, node_id: int) -> None:
+        """Forget a node.  Invalidates cached snapshots."""
+        self._lookup(node_id)
+        del self._position_fns[node_id]
+        self._snapshots.clear()
+        self._latest = None
+
+    def __len__(self) -> int:
+        return len(self._position_fns)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._position_fns
+
+    def _lookup(self, node_id: int) -> PositionFn:
+        try:
+            return self._position_fns[node_id]
+        except KeyError:
+            raise TopologyError(f"unknown node id {node_id}") from None
+
+    # ------------------------------------------------------------------
+    # Time quantisation
+    # ------------------------------------------------------------------
+    def snap(self, t: float) -> float:
+        """The epoch time ``t`` maps to (identity when ``quantum == 0``)."""
+        if self.quantum <= 0.0:
+            return t
+        return math.floor(t / self.quantum) * self.quantum
+
+    # ------------------------------------------------------------------
+    # Point queries (never force a snapshot build)
+    # ------------------------------------------------------------------
+    def position(self, node_id: int, t: float) -> Vec2:
+        """Position of ``node_id`` at ``t`` (epoch-cached when available).
+
+        Uses the cached snapshot for ``snap(t)`` if one exists; otherwise
+        evaluates the node's trajectory directly — a pairwise channel or
+        carrier-sense probe at an off-epoch instant must not trigger an
+        O(n) resample of the whole field.
+        """
+        ts = self.snap(t)
+        latest = self._latest
+        snapshot = (
+            latest
+            if latest is not None and latest.time == ts
+            else self._snapshots.get(ts)
+        )
+        if snapshot is not None:
+            try:
+                return snapshot.positions[node_id]
+            except KeyError:
+                raise TopologyError(f"unknown node id {node_id}") from None
+        return self._lookup(node_id)(ts)
+
+    def distance(self, a: int, b: int, t: float) -> float:
+        """Distance in metres between ``a`` and ``b`` at ``t``."""
+        return self.position(a, t).distance_to(self.position(b, t))
+
+    def within(self, a: int, b: int, t: float, range_m: float) -> bool:
+        """True if distinct nodes ``a`` and ``b`` are within ``range_m``."""
+        if a == b:
+            return False
+        return self.distance(a, b, t) <= range_m
+
+    # ------------------------------------------------------------------
+    # Set queries (grid-backed, build/reuse a snapshot)
+    # ------------------------------------------------------------------
+    def neighbors(self, node_id: int, t: float, radius: Optional[float] = None) -> List[int]:
+        """Ids within ``radius`` (default: the index radius), ascending."""
+        r = self.radius if radius is None else radius
+        snapshot = self._snapshot(t)
+        try:
+            origin = snapshot.positions[node_id]
+        except KeyError:
+            raise TopologyError(f"unknown node id {node_id}") from None
+        return self._scan(snapshot, origin.x, origin.y, r, node_id)
+
+    def nodes_within(self, point: Vec2, t: float, radius: float) -> List[int]:
+        """Ids within ``radius`` metres of an arbitrary point, ascending."""
+        return self._scan(self._snapshot(t), point.x, point.y, radius, -1)
+
+    def _scan(
+        self, snapshot: _Snapshot, ox: float, oy: float, r: float, exclude: int
+    ) -> List[int]:
+        """The query hot path: scan the cell neighbourhood of ``(ox, oy)``.
+
+        Coordinates are clamped onto the grid (1-Lipschitz per axis), so a
+        neighbourhood of ``ceil(r / cell_size)`` cells around the origin's
+        cell always covers every point within ``r`` — including origins and
+        nodes sitting on cell boundaries or outside the field.
+        """
+        grid = self.grid
+        col, row = grid._col(ox), grid._row(oy)
+        reach = grid.reach_for(r)
+        key = (col, row, reach)
+        cand = snapshot.candidates.get(key)
+        if cand is None:
+            cells = snapshot.cells
+            cand = []
+            for block_cell in grid.cell_block((col, row), reach):
+                bucket = cells.get(block_cell)
+                if bucket:
+                    cand.extend(bucket)
+            snapshot.candidates[key] = cand
+        positions = snapshot.positions
+        hyp = math.hypot
+        out: List[int] = []
+        append = out.append
+        for nid in cand:
+            if nid == exclude:
+                continue
+            p = positions[nid]
+            if hyp(ox - p[0], oy - p[1]) <= r:
+                append(nid)
+        out.sort()
+        return out
+
+    def neighbor_map(self, t: float, radius: Optional[float] = None) -> Dict[int, List[int]]:
+        """Full ``{id: neighbours}`` map at ``t`` in one pass over the grid."""
+        return {nid: self.neighbors(nid, t, radius) for nid in sorted(self._position_fns)}
+
+    def positions(self, t: float) -> Dict[int, Vec2]:
+        """All cached positions at ``snap(t)`` (builds the snapshot)."""
+        return dict(self._snapshot(t).positions)
+
+    # ------------------------------------------------------------------
+    # Snapshot maintenance
+    # ------------------------------------------------------------------
+    def _snapshot(self, t: float) -> _Snapshot:
+        ts = self.snap(t)
+        latest = self._latest
+        if latest is not None and latest.time == ts:
+            return latest
+        snapshot = self._snapshots.get(ts)
+        if snapshot is not None:
+            self._snapshots.move_to_end(ts)
+            return snapshot
+        snapshot = self._build(ts)
+        self._snapshots[ts] = snapshot
+        self._latest = snapshot
+        if len(self._snapshots) > self._max_snapshots:
+            self._snapshots.popitem(last=False)
+        return snapshot
+
+    def _build(self, ts: float) -> _Snapshot:
+        """Sample every trajectory once; rebucket only nodes that moved cells."""
+        self.snapshots_built += 1
+        base = next(reversed(self._snapshots.values())) if self._snapshots else None
+        positions: Dict[int, Vec2] = {}
+        cell_of_point = self.grid.cell_of
+        if base is None:
+            cells: Dict[Cell, List[int]] = {}
+            cell_of: Dict[int, Cell] = {}
+            for nid, fn in self._position_fns.items():
+                p = fn(ts)
+                positions[nid] = p
+                c = cell_of_point(p)
+                cell_of[nid] = c
+                bucket = cells.get(c)
+                if bucket is None:
+                    cells[c] = [nid]
+                else:
+                    bucket.append(nid)
+            return _Snapshot(ts, positions, cells, cell_of)
+        # Copy-on-write from the most recent snapshot: bucket lists are
+        # shared until a node crosses into or out of them.
+        cells = dict(base.cells)
+        cell_of = dict(base.cell_of)
+        touched: set = set()
+        for nid, fn in self._position_fns.items():
+            p = fn(ts)
+            positions[nid] = p
+            c = cell_of_point(p)
+            old = cell_of[nid]
+            if c == old:
+                continue
+            self.bucket_moves += 1
+            self._mutable_bucket(cells, touched, old).remove(nid)
+            self._mutable_bucket(cells, touched, c).append(nid)
+            cell_of[nid] = c
+        return _Snapshot(ts, positions, cells, cell_of)
+
+    @staticmethod
+    def _mutable_bucket(cells: Dict[Cell, List[int]], touched: set, cell: Cell) -> List[int]:
+        if cell not in touched:
+            cells[cell] = list(cells.get(cell, ()))
+            touched.add(cell)
+        return cells[cell]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TopologyIndex(nodes={len(self._position_fns)}, {self.grid!r}, "
+            f"quantum={self.quantum:g}, snapshots={len(self._snapshots)})"
+        )

@@ -23,6 +23,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "fig99"])
 
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.jobs == 1
+        assert args.protocols is None
+        assert args.speeds == [0.0, 36.0, 72.0]
+
+    def test_campaign_jobs_flag(self):
+        args = build_parser().parse_args(
+            ["campaign", "--jobs", "4", "--protocols", "rica", "aodv"]
+        )
+        assert args.jobs == 4
+        assert args.protocols == ["rica", "aodv"]
+
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -73,3 +86,23 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "fig5a" in out
         assert "paper expectation" in out
+
+    def test_campaign_tiny_parallel(self, capsys, tmp_path):
+        out_path = tmp_path / "campaign.json"
+        rc = main(
+            [
+                "campaign",
+                "--protocols", "aodv",
+                "--speeds", "0",
+                "--rates", "10",
+                "--duration", "2",
+                "--nodes", "8",
+                "--flows", "2",
+                "--jobs", "2",
+                "--out", str(out_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "aodv/0/10" in out
+        assert out_path.exists()

@@ -128,6 +128,47 @@ class TestRunControl:
         with pytest.raises(SimulationError):
             sim.run(until=10.0, max_events=100)
 
+    def test_max_events_checked_before_firing(self, sim):
+        """Regression: event ``max_events + 1`` must never fire."""
+        fired = []
+        for i in range(6):
+            sim.schedule(float(i + 1), fired.append, i)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=5)
+        assert fired == [0, 1, 2, 3, 4]
+        assert sim.events_processed == 5
+
+    def test_exactly_max_events_is_allowed(self, sim):
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_events=5)  # queue drains exactly at the cap: no error
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_step_respects_stop(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "x")
+        sim.stop()
+        assert sim.step() is False
+        assert fired == []
+        sim.run()  # run() clears the stop flag and drains the queue
+        assert fired == ["x"]
+
+    def test_step_skips_cancelled_head_like_peek_time(self, sim):
+        fired = []
+        h1 = sim.schedule(1.0, fired.append, "cancelled")
+        sim.schedule(2.0, fired.append, "live")
+        h1.cancel()
+        assert sim.peek_time() == 2.0
+        assert sim.step() is True
+        assert fired == ["live"] and sim.now == 2.0
+
+    def test_step_on_all_cancelled_queue_returns_false(self, sim):
+        h = sim.schedule(1.0, lambda: None)
+        h.cancel()
+        assert sim.step() is False
+        assert sim.events_processed == 0
+
     def test_run_not_reentrant(self, sim):
         def nested():
             sim.run()

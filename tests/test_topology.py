@@ -1,0 +1,260 @@
+"""Differential and property tests for the spatial topology index.
+
+The load-bearing guarantee: grid-backed ``neighbors()`` answers *exactly*
+match the seed's brute-force O(n²) scan — across random fields, radii
+(including 0 and beyond the field diagonal), boundary-sitting nodes and
+moving trajectories.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.geometry.field import Field
+from repro.geometry.grid import UniformGrid, bulk_distances
+from repro.geometry.vector import Vec2
+from repro.mobility.waypoint import RandomWaypoint
+from repro.sim.rng import RandomStreams
+from repro.topology import TopologyIndex
+
+from tests.helpers import build_static_network
+
+
+def brute_force_neighbors(positions, node_id, radius):
+    """The seed implementation: scan every node, ascending ids."""
+    origin = positions[node_id]
+    return sorted(
+        nid
+        for nid, p in positions.items()
+        if nid != node_id and origin.distance_to(p) <= radius
+    )
+
+
+def make_index(field, positions, radius, **kwargs):
+    index = TopologyIndex(field, radius=radius, **kwargs)
+    for nid, p in positions.items():
+        index.add(nid, (lambda point: lambda t: point)(p))
+    return index
+
+
+class TestGrid:
+    def test_cell_of_clamps_and_covers_field(self):
+        grid = UniformGrid(1000.0, 1000.0, 250.0)
+        assert grid.cols == 4 and grid.rows == 4
+        assert grid.cell_of(Vec2(0.0, 0.0)) == (0, 0)
+        # Points on the far edge land in the last cell, not out of bounds.
+        assert grid.cell_of(Vec2(1000.0, 1000.0)) == (3, 3)
+        assert grid.cell_of(Vec2(-50.0, 2000.0)) == (0, 3)
+
+    def test_cells_near_covers_radius(self):
+        grid = UniformGrid(1000.0, 1000.0, 250.0)
+        cells = set(grid.cells_near(Vec2(500.0, 500.0), 250.0))
+        assert (1, 1) in cells and (3, 3) in cells
+        everything = set(grid.cells_near(Vec2(500.0, 500.0), 5000.0))
+        assert len(everything) == grid.cell_count
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformGrid(0.0, 100.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            UniformGrid(100.0, 100.0, 0.0)
+
+    def test_bulk_distances(self):
+        pts = [Vec2(3.0, 4.0), Vec2(0.0, 0.0)]
+        assert bulk_distances(Vec2(0.0, 0.0), pts) == [5.0, 0.0]
+
+
+class TestDifferential:
+    """Grid answers == brute-force answers, exactly."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 40),
+        side=st.floats(50.0, 3000.0),
+        radius_kind=st.sampled_from(["zero", "small", "tx", "diagonal", "beyond"]),
+    )
+    def test_static_random_fields(self, seed, n, side, radius_kind):
+        rng = random.Random(seed)
+        field = Field(side, side)
+        positions = {i: field.random_point(rng) for i in range(n)}
+        # Pin some nodes to corners/edges (boundary cells) when room allows.
+        corners = [Vec2(0.0, 0.0), Vec2(side, side), Vec2(side, 0.0), Vec2(0.0, side)]
+        for i, corner in enumerate(corners[: min(n, 4)]):
+            positions[i] = corner
+        radius = {
+            "zero": 0.0,
+            "small": side / 20.0,
+            "tx": 250.0,
+            "diagonal": field.diagonal,
+            "beyond": 2.0 * field.diagonal,
+        }[radius_kind]
+        index = make_index(field, positions, radius)
+        for nid in positions:
+            assert index.neighbors(nid, 0.0) == brute_force_neighbors(
+                positions, nid, radius
+            )
+
+    def test_coincident_nodes_and_zero_radius(self):
+        field = Field(100.0, 100.0)
+        positions = {0: Vec2(5.0, 5.0), 1: Vec2(5.0, 5.0), 2: Vec2(6.0, 5.0)}
+        index = make_index(field, positions, radius=0.0)
+        assert index.neighbors(0, 0.0) == [1]
+        assert index.neighbors(2, 0.0) == []
+
+    def test_nodes_on_cell_boundaries(self):
+        field = Field(1000.0, 1000.0)
+        # Multiples of the 250 m cell size, i.e. exactly on grid lines.
+        positions = {
+            i: Vec2(250.0 * (i % 5), 250.0 * (i // 5)) for i in range(25)
+        }
+        index = make_index(field, positions, radius=250.0)
+        for nid in positions:
+            assert index.neighbors(nid, 0.0) == brute_force_neighbors(
+                positions, nid, 250.0
+            )
+
+    def test_moving_nodes_match_brute_force_over_time(self):
+        streams = RandomStreams(99)
+        field = Field(600.0, 600.0)
+        models = {
+            i: RandomWaypoint(
+                field, streams.stream(f"mobility/{i}"), max_speed=20.0, pause_time=1.0
+            )
+            for i in range(25)
+        }
+        index = TopologyIndex(field, radius=200.0)
+        for nid, model in models.items():
+            index.add(nid, model.position)
+        # Out-of-order query times exercise the snapshot LRU too.
+        for t in (0.0, 5.0, 2.5, 40.0, 39.0, 41.0):
+            positions = {nid: m.position(t) for nid, m in models.items()}
+            for nid in models:
+                assert index.neighbors(nid, t) == brute_force_neighbors(
+                    positions, nid, 200.0
+                )
+        assert index.bucket_moves > 0  # incremental path was exercised
+
+
+class TestEpochCaching:
+    def test_quantum_zero_is_exact(self):
+        field = Field(100.0, 100.0)
+        index = TopologyIndex(field, radius=50.0)
+        index.add(0, lambda t: Vec2(t, 0.0))
+        assert index.position(0, 3.7) == Vec2(3.7, 0.0)
+
+    def test_quantum_snaps_positions_down(self):
+        field = Field(100.0, 100.0)
+        index = TopologyIndex(field, radius=50.0, quantum=0.5)
+        index.add(0, lambda t: Vec2(t, 0.0))
+        assert index.snap(1.74) == 1.5
+        assert index.position(0, 1.74) == Vec2(1.5, 0.0)
+        assert index.position(0, 1.5) == index.position(0, 1.99)
+
+    def test_point_queries_do_not_build_snapshots(self):
+        field = Field(100.0, 100.0)
+        index = TopologyIndex(field, radius=50.0)
+        index.add(0, lambda t: Vec2(0.0, 0.0))
+        index.add(1, lambda t: Vec2(10.0, 0.0))
+        assert index.distance(0, 1, 1.0) == 10.0
+        assert index.within(0, 1, 1.0, 10.0)
+        assert not index.within(0, 0, 1.0, 10.0)
+        assert index.snapshots_built == 0
+        index.neighbors(0, 1.0)
+        assert index.snapshots_built == 1
+        # Repeat queries at the same instant reuse the snapshot.
+        index.neighbors(1, 1.0)
+        index.position(0, 1.0)
+        assert index.snapshots_built == 1
+
+    def test_snapshot_lru_bounded(self):
+        field = Field(100.0, 100.0)
+        index = TopologyIndex(field, radius=50.0, max_snapshots=2)
+        index.add(0, lambda t: Vec2(0.0, 0.0))
+        for t in range(10):
+            index.neighbors(0, float(t))
+        assert index.snapshots_built == 10
+        assert len(index._snapshots) == 2
+
+    def test_neighbor_map_matches_per_node_queries(self):
+        rng = random.Random(4)
+        field = Field(500.0, 500.0)
+        positions = {i: field.random_point(rng) for i in range(30)}
+        index = make_index(field, positions, radius=150.0)
+        nmap = index.neighbor_map(0.0)
+        assert sorted(nmap) == sorted(positions)
+        for nid in positions:
+            assert nmap[nid] == index.neighbors(nid, 0.0)
+
+    def test_nodes_within_arbitrary_point(self):
+        field = Field(100.0, 100.0)
+        positions = {0: Vec2(10.0, 10.0), 1: Vec2(90.0, 90.0)}
+        index = make_index(field, positions, radius=20.0)
+        assert index.nodes_within(Vec2(12.0, 10.0), 0.0, 5.0) == [0]
+        assert index.nodes_within(Vec2(50.0, 50.0), 0.0, 100.0) == [0, 1]
+
+
+class TestMembership:
+    def test_unknown_and_duplicate_ids(self):
+        field = Field(100.0, 100.0)
+        index = TopologyIndex(field, radius=10.0)
+        index.add(0, lambda t: Vec2(0.0, 0.0))
+        with pytest.raises(TopologyError):
+            index.position(99, 0.0)
+        with pytest.raises(TopologyError):
+            index.neighbors(99, 0.0)
+        with pytest.raises(TopologyError):
+            index.add(0, lambda t: Vec2(1.0, 1.0))
+
+    def test_remove_invalidates(self):
+        field = Field(100.0, 100.0)
+        positions = {0: Vec2(0.0, 0.0), 1: Vec2(5.0, 0.0)}
+        index = make_index(field, positions, radius=10.0)
+        assert index.neighbors(0, 0.0) == [1]
+        index.remove(1)
+        assert index.neighbors(0, 0.0) == []
+        with pytest.raises(TopologyError):
+            index.remove(1)
+
+    def test_invalid_configs_rejected(self):
+        field = Field(100.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            TopologyIndex(field, radius=-1.0)
+        with pytest.raises(ConfigurationError):
+            TopologyIndex(field, radius=10.0, quantum=-0.1)
+        with pytest.raises(ConfigurationError):
+            TopologyIndex(field, radius=10.0, max_snapshots=0)
+
+
+class TestNetworkFacade:
+    """The Network keeps its old topology API, now index-backed."""
+
+    def test_static_network_neighbors_match_brute_force(self, sim, streams):
+        rng = random.Random(11)
+        coords = [(rng.uniform(0, 1200), rng.uniform(0, 1200)) for _ in range(40)]
+        network, _ = build_static_network(sim, streams, coords)
+        positions = {n.id: n.position(0.0) for n in network.nodes()}
+        for nid in network.node_ids:
+            assert network.neighbors(nid, 0.0) == brute_force_neighbors(
+                positions, nid, network.channel.tx_range
+            )
+
+    def test_adjacency_is_bulk_neighbor_map(self, sim, streams):
+        network, _ = build_static_network(
+            sim, streams, [(0, 0), (100, 0), (240, 0), (600, 0)]
+        )
+        assert network.adjacency(0.0) == network.neighbor_map(0.0)
+        assert network.adjacency(0.0) == {
+            nid: network.neighbors(nid, 0.0) for nid in network.node_ids
+        }
+
+    def test_network_exposes_topology_index(self, sim, streams):
+        network, _ = build_static_network(sim, streams, [(0, 0), (100, 0)])
+        assert isinstance(network.topology, TopologyIndex)
+        assert network.topology.radius == network.channel.tx_range
+        assert len(network.topology) == 2
