@@ -24,15 +24,20 @@ This package provides:
   CSI-based hop-distance metric;
 * :mod:`~repro.channel.abicm` — class → throughput mapping (the observable
   effect of the adaptive coder/modulator);
+* :mod:`~repro.channel.bank` — :class:`FadingBank`, contiguous numpy AR(1)
+  state arrays with counter-based per-pair substreams (the vectorized
+  fading backend);
 * :mod:`~repro.channel.model` — :class:`ChannelModel`, the per-pair channel
-  store the rest of the simulator queries.
+  store the rest of the simulator queries (vectorized by default,
+  ``backend="scalar"`` keeps the per-pair object store).
 """
 
 from repro.channel.csi import ChannelClass, CsiThresholds, hop_distance
 from repro.channel.abicm import AbicmScheme, CLASS_THROUGHPUT_BPS
 from repro.channel.propagation import PathLossModel
 from repro.channel.fading import GaussMarkovProcess, CompositeFadingProcess
-from repro.channel.model import ChannelModel, ChannelConfig
+from repro.channel.bank import FadingBank
+from repro.channel.model import ChannelModel, ChannelConfig, CHANNEL_BACKENDS
 
 __all__ = [
     "ChannelClass",
@@ -43,6 +48,8 @@ __all__ = [
     "PathLossModel",
     "GaussMarkovProcess",
     "CompositeFadingProcess",
+    "FadingBank",
     "ChannelModel",
     "ChannelConfig",
+    "CHANNEL_BACKENDS",
 ]

@@ -50,16 +50,20 @@ class AbicmScheme:
             raise ConfigurationError("AbicmScheme throughputs must be positive")
         if any(hi < lo for hi, lo in zip(rates, rates[1:])):
             raise ConfigurationError("AbicmScheme throughputs must not increase as class worsens")
+        # Memoised class-value -> rate tuple: the per-sample fast path
+        # indexes this instead of hashing into the dict (frozen dataclass,
+        # hence object.__setattr__).
+        object.__setattr__(self, "_rate_by_index", tuple(rates))
 
     def throughput(self, cls: ChannelClass) -> float:
         """Effective throughput (bps) of a link in class ``cls``."""
-        return self.throughput_bps[cls]
+        return self._rate_by_index[cls]
 
     def transmission_time(self, cls: ChannelClass, bits: int) -> float:
         """Seconds to push ``bits`` through a link in class ``cls``."""
         if bits < 0:
             raise ConfigurationError(f"bits must be >= 0, got {bits}")
-        return bits / self.throughput_bps[cls]
+        return bits / self._rate_by_index[cls]
 
     def hop_distance(self, cls: ChannelClass) -> float:
         """CSI hop distance implied by this table (class A normalised to 1).

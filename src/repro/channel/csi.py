@@ -13,9 +13,18 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
-__all__ = ["ChannelClass", "CsiThresholds", "hop_distance", "HOP_DISTANCE"]
+__all__ = [
+    "ChannelClass",
+    "CsiThresholds",
+    "hop_distance",
+    "HOP_DISTANCE",
+    "HOP_DISTANCE_BY_INDEX",
+    "CLASS_BY_INDEX",
+]
 
 
 class ChannelClass(enum.IntEnum):
@@ -40,10 +49,17 @@ HOP_DISTANCE = {
     ChannelClass.D: 5.0,
 }
 
+#: The same table as a tuple indexed by ``ChannelClass`` value — the
+#: per-sample fast path (an IntEnum indexes a tuple directly).
+HOP_DISTANCE_BY_INDEX = tuple(HOP_DISTANCE[c] for c in sorted(ChannelClass))
+
+#: Class objects indexed by value, for mapping classify_array results back.
+CLASS_BY_INDEX = tuple(sorted(ChannelClass))
+
 
 def hop_distance(cls: ChannelClass) -> float:
     """CSI-based hop distance of a single link of class ``cls``."""
-    return HOP_DISTANCE[cls]
+    return HOP_DISTANCE_BY_INDEX[cls]
 
 
 @dataclass(frozen=True)
@@ -68,6 +84,11 @@ class CsiThresholds:
                 f"CSI thresholds must be strictly decreasing, got "
                 f"A={self.a_db}, B={self.b_db}, C={self.c_db}"
             )
+        # Ascending bounds for the vectorized searchsorted classifier
+        # (set via object.__setattr__: the dataclass is frozen).
+        object.__setattr__(
+            self, "_bounds", np.array([self.c_db, self.b_db, self.a_db])
+        )
 
     def classify(self, snr_db: float) -> ChannelClass:
         """Map an instantaneous SNR (dB) to a channel class."""
@@ -78,3 +99,13 @@ class CsiThresholds:
         if snr_db >= self.c_db:
             return ChannelClass.C
         return ChannelClass.D
+
+    def classify_indices(self, snr_db: np.ndarray) -> np.ndarray:
+        """Vectorized classifier: class *values* (A=0 … D=3) per SNR.
+
+        ``searchsorted`` over the ascending threshold bounds counts how
+        many thresholds each SNR meets (``side="right"`` keeps the
+        boundary inclusive, matching :meth:`classify` at exact
+        thresholds); ``3 - count`` is the class value.
+        """
+        return 3 - np.searchsorted(self._bounds, snr_db, side="right")

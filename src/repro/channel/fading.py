@@ -22,7 +22,11 @@ import random
 
 from repro.errors import ConfigurationError, SimulationError
 
-__all__ = ["GaussMarkovProcess", "CompositeFadingProcess"]
+__all__ = ["GaussMarkovProcess", "CompositeFadingProcess", "BACKWARDS_TOLERANCE_S"]
+
+#: Clock-noise tolerance for the "queries arrive with non-decreasing t"
+#: contract, shared with the vectorized bank (repro.channel.bank).
+BACKWARDS_TOLERANCE_S = 1e-9
 
 
 class GaussMarkovProcess:
@@ -63,7 +67,7 @@ class GaussMarkovProcess:
 
     def sample(self, t: float) -> float:
         """Value of the process at time ``t`` (requires ``t >= last_time``)."""
-        if t < self._t - 1e-9:
+        if t < self._t - BACKWARDS_TOLERANCE_S:
             raise SimulationError(
                 f"GaussMarkovProcess sampled backwards in time: {t} < {self._t}"
             )

@@ -1,30 +1,67 @@
 """The per-pair channel store queried by the MAC and routing layers.
 
-:class:`ChannelModel` owns one :class:`~repro.channel.fading.CompositeFadingProcess`
-per unordered node pair (created lazily the first time a pair interacts) and
-combines it with the distance-dependent mean SNR to produce the pair's
-instantaneous SNR, CSI class, throughput and CSI hop distance.  Channels are
-symmetric — ``state(a, b, t) == state(b, a, t)`` — matching the paper's
-implicit assumption that the CSI measured on a received packet predicts the
+:class:`ChannelModel` combines the distance-dependent mean SNR with
+per-pair fading to produce each pair's instantaneous SNR, CSI class,
+throughput and CSI hop distance.  Channels are symmetric —
+``state(a, b, t) == state(b, a, t)`` — matching the paper's implicit
+assumption that the CSI measured on a received packet predicts the
 quality of the reverse transmission.
+
+Two interchangeable fading backends sit underneath:
+
+* ``"vectorized"`` (default) — a :class:`~repro.channel.bank.FadingBank`:
+  contiguous numpy AR(1) state arrays, one row per active pair, advanced
+  lazily with counter-based per-pair substreams.  Neighbour-set queries
+  (:meth:`ChannelModel.states`, :meth:`ChannelModel.csi_hop_distances`)
+  run as one array pipeline — batched distances → vectorized path loss →
+  bank sample → ``searchsorted`` classification — so the Python cost per
+  query is O(1) in the neighbour count.
+* ``"scalar"`` — the original dict of per-pair
+  :class:`~repro.channel.fading.CompositeFadingProcess` objects (kept as
+  the differential-testing reference and for numpy-free analysis).
+
+Both backends are deterministic per seed; they draw from different
+substream constructions, so their sample paths differ while matching in
+distribution (pinned by ``tests/test_channel_vectorized.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.channel.abicm import AbicmScheme
-from repro.channel.csi import ChannelClass, CsiThresholds, hop_distance
+from repro.channel.bank import FadingBank
+from repro.channel.csi import (
+    CLASS_BY_INDEX,
+    HOP_DISTANCE_BY_INDEX,
+    ChannelClass,
+    CsiThresholds,
+)
 from repro.channel.fading import CompositeFadingProcess
 from repro.channel.propagation import PathLossModel
 from repro.errors import ConfigurationError
 from repro.geometry.vector import Vec2
-from repro.sim.rng import RandomStreams
+from repro.sim.rng import RandomStreams, derive_seed
 
-__all__ = ["ChannelModel", "ChannelConfig"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.topology import TopologyIndex
+
+__all__ = ["ChannelModel", "ChannelConfig", "CHANNEL_BACKENDS"]
 
 PositionFn = Callable[[int, float], Vec2]
+
+#: Recognised fading backends.
+CHANNEL_BACKENDS = ("vectorized", "scalar")
+
+#: Below this neighbour count a batched query loops over the bank's
+#: scalar fast path instead: numpy's per-call dispatch overhead beats the
+#: work it saves on tiny sets (the crossover sits around 15-25 pairs).
+#: Determinism is unaffected — both paths consume the same per-pair
+#: counters.
+SMALL_SET_CUTOFF = 16
 
 
 @dataclass(frozen=True)
@@ -51,10 +88,17 @@ class ChannelModel:
 
     Args:
         config: channel tunables.
-        streams: random stream factory; each pair gets stream
-            ``"channel/<lo>-<hi>"``.
+        streams: random stream factory.  The scalar backend gives each
+            pair stream ``"channel/<lo>-<hi>"``; the vectorized backend
+            derives its counter-based substream root from the same master
+            seed (stream ``"channel/bank"``).
         position_fn: callback ``(node_id, t) -> Vec2`` supplying exact node
             positions (the network layer provides this).
+        backend: ``"vectorized"`` (numpy fading bank, the default) or
+            ``"scalar"`` (per-pair Python processes).
+        topology: optional :class:`~repro.topology.TopologyIndex`; when
+            attached, neighbour-set queries gather candidate positions and
+            distances through its batched array path.
     """
 
     def __init__(
@@ -62,12 +106,38 @@ class ChannelModel:
         config: ChannelConfig,
         streams: RandomStreams,
         position_fn: PositionFn,
+        backend: str = "vectorized",
+        topology: Optional["TopologyIndex"] = None,
     ) -> None:
+        if backend not in CHANNEL_BACKENDS:
+            raise ConfigurationError(
+                f"unknown channel backend {backend!r}; known: {', '.join(CHANNEL_BACKENDS)}"
+            )
         self._config = config
         self._streams = streams
         self._position_fn = position_fn
+        self._topology = topology
+        self.backend = backend
         self._fading: Dict[Tuple[int, int], CompositeFadingProcess] = {}
-        self.samples_taken = 0  # diagnostic counter
+        self._bank: Optional[FadingBank] = None
+        if backend == "vectorized":
+            self._bank = FadingBank(
+                derive_seed(streams.seed, "channel/bank"),
+                shadow_sigma_db=config.shadow_sigma_db,
+                shadow_tau_s=config.shadow_tau_s,
+                fast_sigma_db=config.fast_sigma_db,
+                fast_tau_s=config.fast_tau_s,
+            )
+        # Memoised per-class lookups: IntEnum (or raw class value) indexes
+        # a tuple, replacing dict hashing on the per-sample fast path.
+        self._hop_by_class: Tuple[float, ...] = HOP_DISTANCE_BY_INDEX
+        self._hop_array = np.array(HOP_DISTANCE_BY_INDEX)
+        self._rate_by_class: Tuple[float, ...] = tuple(
+            config.abicm.throughput(c) for c in sorted(ChannelClass)
+        )
+        #: Aggregate diagnostic: SNR samples taken (counted per batch, not
+        #: inside the per-pair loop).
+        self.samples_taken = 0
 
     @property
     def config(self) -> ChannelConfig:
@@ -104,19 +174,14 @@ class ChannelModel:
         return self.distance(a, b, t) <= range_m
 
     # ------------------------------------------------------------------
-    # Channel state
+    # Channel state (single pair)
     # ------------------------------------------------------------------
     def snr_db(self, a: int, b: int, t: float) -> float:
         """Instantaneous SNR (dB) of the a<->b channel at time ``t``."""
-        return self._snr_db_from(self._position_fn(a, t), a, b, t)
-
-    def _snr_db_from(self, origin: Vec2, a: int, b: int, t: float) -> float:
-        """SNR with the origin position precomputed (shared by the batched
-        lookups, which fetch it once per neighbour set)."""
-        mean = self._config.path_loss.mean_snr_db(
-            origin.distance_to(self._position_fn(b, t))
-        )
         self.samples_taken += 1
+        mean = self._config.path_loss.mean_snr_db(self.distance(a, b, t))
+        if self._bank is not None:
+            return mean + self._bank.sample_pair(a, b, t)
         return mean + self._fading_process(a, b).sample(t)
 
     def state(self, a: int, b: int, t: float) -> ChannelClass:
@@ -125,38 +190,156 @@ class ChannelModel:
 
     def throughput_bps(self, a: int, b: int, t: float) -> float:
         """Effective throughput (bps) after adaptive coding/modulation."""
-        return self._config.abicm.throughput(self.state(a, b, t))
+        return self._rate_by_class[self.state(a, b, t)]
 
     def csi_hop_distance(self, a: int, b: int, t: float) -> float:
         """CSI-based hop distance of the a<->b link at time ``t``."""
-        return hop_distance(self.state(a, b, t))
+        return self._hop_by_class[self.state(a, b, t)]
 
-    # ------------------------------------------------------------------
-    # Batched lookups (one origin-position fetch for a whole neighbour set)
-    # ------------------------------------------------------------------
-    def states(self, a: int, others: Sequence[int], t: float) -> Dict[int, ChannelClass]:
-        """CSI classes of every a<->b channel for ``b`` in ``others``.
-
-        Equivalent to ``{b: self.state(a, b, t) for b in others}`` but
-        samples the origin position once; with the network's topology
-        index supplying ``position_fn``, the per-pair cost is one cached
-        position lookup plus the fading sample.
-        """
-        origin = self._position_fn(a, t)
-        classify = self._config.thresholds.classify
-        return {b: classify(self._snr_db_from(origin, a, b, t)) for b in others}
-
-    def csi_hop_distances(self, a: int, others: Sequence[int], t: float) -> Dict[int, float]:
-        """CSI hop distances of every a<->b link for ``b`` in ``others``."""
-        return {b: hop_distance(s) for b, s in self.states(a, others, t).items()}
+    def link_metrics(self, a: int, b: int, t: float) -> Tuple[float, float]:
+        """One channel sample serving both routing accumulators:
+        ``(csi_hop_distance, throughput_bps)`` of the a<->b link."""
+        cls = self.state(a, b, t)
+        return self._hop_by_class[cls], self._rate_by_class[cls]
 
     def transmission_time(self, a: int, b: int, t: float, bits: int) -> float:
         """Seconds to transmit ``bits`` over the a<->b data channel at ``t``."""
         return self._config.abicm.transmission_time(self.state(a, b, t), bits)
 
     # ------------------------------------------------------------------
-    # Internals
+    # Batched lookups (one array pipeline for a whole neighbour set)
     # ------------------------------------------------------------------
+    def _batch_snr(self, a: int, others: Sequence[int], t: float) -> np.ndarray:
+        """Vectorized fading pipeline: distances → mean SNR → bank sample."""
+        if self._topology is not None:
+            d = self._topology.distances_from(a, others, t)
+        else:
+            origin = self._position_fn(a, t)
+            pfn = self._position_fn
+            d = np.fromiter(
+                (origin.distance_to(pfn(b, t)) for b in others),
+                dtype=float,
+                count=len(others),
+            )
+        snr = self._config.path_loss.mean_snr_db_array(d)
+        snr += self._bank.sample_pairs(a, others, t)
+        self.samples_taken += len(others)
+        return snr
+
+    def _small_states(self, a: int, others: Sequence[int], t: float) -> Dict[int, ChannelClass]:
+        """Tiny-set path: the bank's scalar samples, one origin fetch."""
+        origin = self._position_fn(a, t)
+        pfn = self._position_fn
+        mean = self._config.path_loss.mean_snr_db
+        classify = self._config.thresholds.classify
+        sample = self._bank.sample_pair
+        self.samples_taken += len(others)
+        return {
+            b: classify(mean(origin.distance_to(pfn(b, t))) + sample(a, b, t))
+            for b in others
+        }
+
+    def states(self, a: int, others: Sequence[int], t: float) -> Dict[int, ChannelClass]:
+        """CSI classes of every a<->b channel for ``b`` in ``others``.
+
+        Equivalent to ``{b: self.state(a, b, t) for b in others}`` but,
+        on the vectorized backend, computed as one array pipeline —
+        O(1) Python calls per query instead of O(neighbours) — for sets
+        past :data:`SMALL_SET_CUTOFF` (tiny sets loop over the scalar
+        fast path, which is cheaper than numpy dispatch).
+        """
+        if self._bank is not None:
+            if not others:
+                return {}
+            if len(others) <= SMALL_SET_CUTOFF:
+                return self._small_states(a, others, t)
+            idx = self._config.thresholds.classify_indices(self._batch_snr(a, others, t))
+            classes = CLASS_BY_INDEX
+            return {b: classes[i] for b, i in zip(others, idx.tolist())}
+        origin = self._position_fn(a, t)
+        classify = self._config.thresholds.classify
+        result = {b: classify(self._snr_db_from(origin, a, b, t)) for b in others}
+        self.samples_taken += len(result)
+        return result
+
+    def csi_hop_distances(self, a: int, others: Sequence[int], t: float) -> Dict[int, float]:
+        """CSI hop distances of every a<->b link for ``b`` in ``others``."""
+        if self._bank is not None:
+            if not others:
+                return {}
+            if len(others) <= SMALL_SET_CUTOFF:
+                hop = self._hop_by_class
+                return {b: hop[s] for b, s in self._small_states(a, others, t).items()}
+            idx = self._config.thresholds.classify_indices(self._batch_snr(a, others, t))
+            return dict(zip(others, self._hop_array[idx].tolist()))
+        hop = self._hop_by_class
+        return {b: hop[s] for b, s in self.states(a, others, t).items()}
+
+    def csi_hop_map(
+        self, adjacency: Dict[int, Sequence[int]], t: float
+    ) -> Dict[int, Dict[int, float]]:
+        """CSI hop distances of every link of a whole adjacency at ``t``.
+
+        Equivalent to ``{a: self.csi_hop_distances(a, nbrs, t) for a, nbrs
+        in adjacency.items()}`` but, on the vectorized backend, the entire
+        network scans as *one* flattened array pipeline: every (origin,
+        neighbour) pair's distance, mean SNR, fading sample and class in
+        single numpy passes.  Symmetric pairs appearing on both rows
+        advance once and read the same sample, preserving
+        ``state(a, b) == state(b, a)``.
+        """
+        if self._bank is None or self._topology is None:
+            return {
+                a: self.csi_hop_distances(a, others, t) for a, others in adjacency.items()
+            }
+        coords, slot_of = self._topology.coords_view(t)
+        rows_of = self._bank.rows
+        row_parts = []
+        a_slots: list = []
+        counts: list = []
+        b_flat: list = []
+        for a, others in adjacency.items():
+            if not others:
+                continue
+            a_slots.append(a if slot_of is None else slot_of[a])
+            counts.append(len(others))
+            b_flat.extend(others)
+            row_parts.append(rows_of(a, others))
+        if not row_parts:
+            return {a: {} for a in adjacency}
+        if slot_of is None:
+            idx_b = np.asarray(b_flat, dtype=np.intp)
+        else:
+            idx_b = np.fromiter(
+                (slot_of[b] for b in b_flat), dtype=np.intp, count=len(b_flat)
+            )
+        idx_a = np.repeat(np.asarray(a_slots, dtype=np.intp), counts)
+        pa = coords[idx_a]
+        pb = coords[idx_b]
+        d = np.hypot(pb[:, 0] - pa[:, 0], pb[:, 1] - pa[:, 1])
+        snr = self._config.path_loss.mean_snr_db_array(d)
+        snr += self._bank.sample_rows(np.concatenate(row_parts), t)
+        self.samples_taken += len(snr)
+        hops = self._hop_array[self._config.thresholds.classify_indices(snr)].tolist()
+        out: Dict[int, Dict[int, float]] = {}
+        pos = 0
+        for a, others in adjacency.items():
+            n = len(others)
+            out[a] = dict(zip(others, hops[pos : pos + n]))
+            pos += n
+        return out
+
+    # ------------------------------------------------------------------
+    # Scalar-backend internals
+    # ------------------------------------------------------------------
+    def _snr_db_from(self, origin: Vec2, a: int, b: int, t: float) -> float:
+        """SNR with the origin position precomputed (shared by the scalar
+        batched lookup, which fetches it once per neighbour set)."""
+        mean = self._config.path_loss.mean_snr_db(
+            origin.distance_to(self._position_fn(b, t))
+        )
+        return mean + self._fading_process(a, b).sample(t)
+
     def _fading_process(self, a: int, b: int) -> CompositeFadingProcess:
         key = (a, b) if a < b else (b, a)
         proc = self._fading.get(key)
@@ -173,4 +356,8 @@ class ChannelModel:
         return proc
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"ChannelModel(pairs={len(self._fading)}, samples={self.samples_taken})"
+        pairs = self._bank.pair_count if self._bank is not None else len(self._fading)
+        return (
+            f"ChannelModel(backend={self.backend}, pairs={pairs}, "
+            f"samples={self.samples_taken})"
+        )

@@ -16,6 +16,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 __all__ = ["PathLossModel"]
@@ -46,11 +48,28 @@ class PathLossModel:
             raise ConfigurationError(f"alpha must be positive, got {self.alpha}")
         if self.tx_range <= 0:
             raise ConfigurationError(f"tx_range must be positive, got {self.tx_range}")
+        # Precomputed pieces of mean_snr_db_array:
+        #   snr(d) = snr_ref - coef*log10(d/d_ref) = offset - coef*log10(d)
+        # (frozen dataclass, hence object.__setattr__).
+        coef = 10.0 * self.alpha
+        object.__setattr__(self, "_coef", coef)
+        object.__setattr__(self, "_offset", self.snr_ref_db + coef * math.log10(self.d_ref))
 
     def mean_snr_db(self, distance: float) -> float:
         """Mean (large-scale) SNR in dB at ``distance`` metres."""
         d = max(distance, self.d_ref)  # free-space plateau below d_ref
         return self.snr_ref_db - 10.0 * self.alpha * math.log10(d / self.d_ref)
+
+    def mean_snr_db_array(self, distances: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`mean_snr_db` over a distance array (metres).
+
+        May modify ``distances`` in place (callers pass a fresh array).
+        """
+        d = np.maximum(distances, self.d_ref, out=distances)
+        snr = np.log10(d, out=d)
+        snr *= -self._coef
+        snr += self._offset
+        return snr
 
     def in_range(self, distance: float) -> bool:
         """True if two terminals ``distance`` metres apart can communicate."""

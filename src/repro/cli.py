@@ -25,6 +25,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.tables import format_table
+from repro.channel.model import CHANNEL_BACKENDS
 from repro.experiments.campaign import CampaignSpec, run_campaign, save_results
 from repro.experiments.figures import figure_spec, list_figures, run_figure
 from repro.experiments.scenario import ScenarioConfig
@@ -51,6 +52,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--nodes", type=int, default=50)
     run_p.add_argument("--flows", type=int, default=10)
     run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument(
+        "--channel-backend", default="vectorized", choices=list(CHANNEL_BACKENDS),
+        help="fading backend (scalar = per-pair Python processes)",
+    )
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("figure_id", choices=list_figures())
@@ -103,6 +108,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         n_nodes=args.nodes,
         n_flows=args.flows,
         seed=args.seed,
+        channel_backend=args.channel_backend,
     )
     agg = run_trials(config, args.trials)
     rows = [

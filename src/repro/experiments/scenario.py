@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
-from repro.channel.model import ChannelConfig
+from repro.channel.model import CHANNEL_BACKENDS, ChannelConfig
 from repro.errors import ConfigurationError
 from repro.geometry.field import Field
 from repro.mac.csma import MacConfig
@@ -68,6 +68,9 @@ class ScenarioConfig:
     warmup_s: float = 0.0
     #: Mobility model: "waypoint" (the paper's), "direction" (extension).
     mobility_model: str = "waypoint"
+    #: Fading backend: "vectorized" (numpy FadingBank, the default) or
+    #: "scalar" (per-pair Python processes; the differential reference).
+    channel_backend: str = "vectorized"
     #: Topology-index position quantum (s).  0 samples positions at exact
     #: query times; > 0 freezes them per quantum (faster, positions stale
     #: by at most one quantum — see docs/ARCHITECTURE.md).
@@ -90,6 +93,11 @@ class ScenarioConfig:
             raise ConfigurationError(
                 f"unknown mobility model {self.mobility_model!r}; "
                 "known: waypoint, direction"
+            )
+        if self.channel_backend not in CHANNEL_BACKENDS:
+            raise ConfigurationError(
+                f"unknown channel backend {self.channel_backend!r}; "
+                f"known: {', '.join(CHANNEL_BACKENDS)}"
             )
         protocol_class(self.protocol)  # validate the name early
 
@@ -148,6 +156,7 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
         mac_config=config.mac,
         datalink_config=config.datalink,
         position_epoch_s=config.position_epoch_s,
+        channel_backend=config.channel_backend,
     )
     mobility_cls = RandomWaypoint if config.mobility_model == "waypoint" else RandomDirection
     for i in range(config.n_nodes):

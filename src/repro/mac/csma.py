@@ -168,15 +168,16 @@ class CsmaMac:
 
     def _complete(self, tx: Transmission) -> None:
         # Resolve reception at every node in range at transmission start.
-        receivers = self._neighbors(self._node_id, tx.start)
+        # The whole delivery set is checked against each interferer in one
+        # batched medium query instead of per-receiver collision walks.
+        receivers = [r for r in self._neighbors(self._node_id, tx.start) if r != self._node_id]
+        lost = self._medium.lost_receivers(tx, receivers)
         now = self._sim.now
         for receiver in receivers:
-            if receiver == self._node_id:
-                continue
             # Receivers spend energy listening whether or not the packet
             # survives the collision check.
             self._metrics.record_radio(rx_bits=tx.packet.size_bits, now=now)
-            if self._medium.collided(tx, receiver):
+            if receiver in lost:
                 self._medium.total_collisions += 1
                 self._metrics.record_event("mac_collision")
                 continue

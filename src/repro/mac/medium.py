@@ -20,11 +20,23 @@ is what makes the 250 kbps common channel a genuinely scarce shared
 resource — the mechanism behind the link-state protocol's collapse in the
 paper ("the common channel is very congested for the link state
 protocol").
+
+Hot-path notes: the registry is a :class:`collections.deque` pruned from
+the left (transmissions are registered in start order, so expired entries
+cluster at the head) against the longest airtime seen so far — the exact
+retention needed for any overlap query the MAC can still issue.  When a
+topology index is attached, carrier sensing batches all concurrent
+senders into one candidate query, and :meth:`lost_receivers` resolves a
+whole delivery set against all interferers as a single senders-by-
+receivers distance matrix.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from collections import deque
+from typing import TYPE_CHECKING, Deque, List, Optional, Sequence, Set
+
+import numpy as np
 
 from repro.net.packet import Packet
 
@@ -61,9 +73,12 @@ class Transmission:
 class CommonChannelMedium:
     """Registry of common-channel transmissions with collision queries."""
 
-    #: Transmissions older than this are pruned; must exceed the longest
-    #: possible control-packet airtime (a 100-byte packet at 250 kbps is
-    #: 3.2 ms, so 20 ms is a comfortable margin).
+    #: Minimum retention for finished transmissions; must exceed the
+    #: longest possible control-packet airtime (a 100-byte packet at
+    #: 250 kbps is 3.2 ms, so 20 ms is a comfortable margin).  The
+    #: effective horizon stretches to the longest airtime registered so
+    #: far when that is larger, so oversized packets never lose their
+    #: overlap history.
     PRUNE_HORIZON_S = 0.02
 
     def __init__(
@@ -76,16 +91,23 @@ class CommonChannelMedium:
         #: Carrier-sense / interference range in metres; defaults to twice
         #: the decode range when not supplied.
         self.cs_range_m = cs_range_m if cs_range_m > 0 else 2.0 * channel.tx_range
-        # Range probes go through the topology index (cached positions)
-        # when one is attached; the channel's pairwise path otherwise.
+        # Range probes go through the topology index (cached positions +
+        # batched candidate queries) when one is attached; the channel's
+        # pairwise path otherwise.
+        self._topology = topology
         self._within = topology.within if topology is not None else channel.within
-        self._transmissions: List[Transmission] = []
+        self._position = topology.position if topology is not None else None
+        self._transmissions: Deque[Transmission] = deque()
+        self._max_airtime = 0.0
         self.total_transmissions = 0
         self.total_collisions = 0
 
     def begin(self, sender: int, start: float, end: float, packet: Packet) -> Transmission:
         """Register a new transmission and return its record."""
         tx = Transmission(sender, start, end, packet)
+        airtime = end - start
+        if airtime > self._max_airtime:
+            self._max_airtime = airtime
         self._prune(start)
         self._transmissions.append(tx)
         self.total_transmissions += 1
@@ -93,15 +115,20 @@ class CommonChannelMedium:
 
     def busy_for(self, node: int, t: float) -> bool:
         """Carrier sense at ``node``: any transmitter within sense range?"""
-        cs = self.cs_range_m
+        senders: List[int] = []
         for tx in self._transmissions:
             if not (tx.start <= t < tx.end):
                 continue
             if tx.sender == node:
                 return True  # we are transmitting ourselves
-            if self._within(tx.sender, node, t, cs):
-                return True
-        return False
+            senders.append(tx.sender)
+        if not senders:
+            return False
+        if self._topology is not None:
+            # One batched candidate query over every concurrent sender.
+            return self._topology.any_within(node, senders, t, self.cs_range_m)
+        cs = self.cs_range_m
+        return any(self._within(sender, node, t, cs) for sender in senders)
 
     def collided(self, tx: Transmission, receiver: int) -> bool:
         """Did ``receiver`` lose ``tx`` to an overlapping transmission?"""
@@ -116,14 +143,85 @@ class CommonChannelMedium:
                 return True
         return False
 
+    def lost_receivers(self, tx: Transmission, receivers: Sequence[int]) -> Set[int]:
+        """Receivers in ``receivers`` that lose ``tx`` to a collision.
+
+        The batched form of :meth:`collided` for a whole delivery set.
+        With a topology attached, every interferer's sender (at its
+        overlap instant) is checked against every receiver (at
+        ``tx.start``, the instant the delivery set was resolved) —
+        regardless of set size, so outcomes never depend on how many
+        pairs are involved; large sets resolve as one
+        senders-by-receivers distance matrix.  Over a single airtime the
+        sub-metre position drift between those time conventions is
+        physically negligible.  Without a topology the per-pair
+        :meth:`collided` convention (both ends at the overlap instant)
+        applies exactly.
+        """
+        lost: Set[int] = set()
+        if not receivers:
+            return lost
+        overlapping = [o for o in self._transmissions if o is not tx and tx.overlaps(o)]
+        if not overlapping:
+            return lost
+        cs = self.cs_range_m
+        receiver_set = set(receivers)
+        for other in overlapping:
+            if other.sender in receiver_set:
+                lost.add(other.sender)  # half-duplex: it was transmitting
+        topology = self._topology
+        if topology is None:
+            within = self._within
+            for other in overlapping:
+                overlap_t = max(tx.start, other.start)
+                for r in receivers:
+                    if r not in lost and within(other.sender, r, overlap_t, cs):
+                        lost.add(r)
+            return lost
+        position = self._position
+        if len(overlapping) * len(receivers) <= 16:
+            cs2 = cs * cs  # same squared-distance form as the matrix below
+            for other in overlapping:
+                s_pos = position(other.sender, max(tx.start, other.start))
+                for r in receivers:
+                    if r in lost:
+                        continue
+                    r_pos = position(r, tx.start)
+                    dx = s_pos.x - r_pos.x
+                    dy = s_pos.y - r_pos.y
+                    if dx * dx + dy * dy <= cs2:
+                        lost.add(r)
+            return lost
+        s_xy = np.array(
+            [position(o.sender, max(tx.start, o.start)) for o in overlapping]
+        )
+        r_xy = np.asarray(topology.positions_of(receivers, tx.start))
+        dx = s_xy[:, :1] - r_xy[:, 0]
+        dy = s_xy[:, 1:] - r_xy[:, 1]
+        dx *= dx
+        dy *= dy
+        dx += dy
+        hit = (dx <= cs * cs).any(axis=0)
+        for r, flag in zip(receivers, hit.tolist()):
+            if flag:
+                lost.add(r)
+        return lost
+
     def active_count(self, t: float) -> int:
         """Number of transmissions occupying the channel at ``t``."""
         return sum(1 for tx in self._transmissions if tx.active_at(t))
 
     def _prune(self, now: float) -> None:
-        horizon = now - self.PRUNE_HORIZON_S
-        if self._transmissions and self._transmissions[0].end < horizon:
-            self._transmissions = [tx for tx in self._transmissions if tx.end >= horizon]
+        """Drop records that can no longer overlap any unresolved
+        transmission: anything ending more than the longest airtime (with
+        the class floor) before ``now``.  Registration is in start order,
+        so stale entries cluster at the head; a straggler behind a live
+        head survives a little longer, which is harmless — the collision
+        predicates test time windows explicitly."""
+        horizon = now - max(self.PRUNE_HORIZON_S, self._max_airtime)
+        txs = self._transmissions
+        while txs and txs[0].end < horizon:
+            txs.popleft()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -50,6 +50,7 @@ class Network:
         mac_config: Optional[MacConfig] = None,
         datalink_config: Optional[DataLinkConfig] = None,
         position_epoch_s: float = 0.0,
+        channel_backend: str = "vectorized",
     ) -> None:
         self.sim = sim
         self.field = field
@@ -61,7 +62,15 @@ class Network:
             radius=channel_config.path_loss.tx_range,
             quantum=position_epoch_s,
         )
-        self.channel = ChannelModel(channel_config, streams, self.position)
+        # The channel reaches the topology index directly so neighbour-set
+        # CSI queries can gather candidate positions as one array batch.
+        self.channel = ChannelModel(
+            channel_config,
+            streams,
+            self.position,
+            backend=channel_backend,
+            topology=self.topology,
+        )
         self._mac_config = mac_config or MacConfig()
         self.medium = CommonChannelMedium(
             self.channel,

@@ -27,7 +27,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.channel.csi import hop_distance
 from repro.errors import RoutingError
 from repro.metrics.collector import DropReason, MetricsCollector
 from repro.net.network import Network
@@ -396,10 +395,8 @@ class OnDemandProtocol(RoutingProtocol):
         now = self.sim.now
         if self.uses_csi:
             # One channel sample serves both the CSI distance and the
-            # bottleneck-bandwidth accumulator.
-            cls = self.channel.state(from_id, self.node.id, now)
-            link_csi = hop_distance(cls)
-            arrival_bw = self.channel.config.abicm.throughput(cls)
+            # bottleneck-bandwidth accumulator (memoised class lookups).
+            link_csi, arrival_bw = self.channel.link_metrics(from_id, self.node.id, now)
         else:
             link_csi = 1.0
             arrival_bw = float("inf")

@@ -74,19 +74,27 @@ class BgcaProtocol(OnDemandProtocol):
         self._last_lq_at: Dict[int, float] = {}
         #: dest -> required bandwidth learned from RREP relays
         self._required_bw: Dict[int, float] = {}
+        #: dest -> memoised guard level (the per-data-packet fast path;
+        #: invalidated when an RREP teaches a new requirement).
+        self._guard_bw: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # Requirement bookkeeping
     # ------------------------------------------------------------------
     def required_bw_for(self, dest: int) -> float:
         """The guard level for traffic toward ``dest`` (bps)."""
+        cached = self._guard_bw.get(dest)
+        if cached is not None:
+            return cached
         own = self.config.flow_rates_bps.get((self.node.id, dest))
         if own is not None:
-            return own * self.config.bw_guard_factor
-        learned = self._required_bw.get(dest)
-        if learned:
-            return learned  # already includes the factor (set by the source)
-        return self.config.default_required_bw_bps
+            value = own * self.config.bw_guard_factor
+        else:
+            learned = self._required_bw.get(dest)
+            # A learned value already includes the factor (set by the source).
+            value = learned if learned else self.config.default_required_bw_bps
+        self._guard_bw[dest] = value
+        return value
 
     # ------------------------------------------------------------------
     # Discovery policy
@@ -117,6 +125,7 @@ class BgcaProtocol(OnDemandProtocol):
     def on_rrep(self, rrep: RouteReply, from_id: int) -> None:
         if rrep.required_bw_bps > 0:
             self._required_bw[rrep.target] = rrep.required_bw_bps
+            self._guard_bw.pop(rrep.target, None)
         super().on_rrep(rrep, from_id)
 
     # ------------------------------------------------------------------

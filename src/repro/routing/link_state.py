@@ -82,10 +82,9 @@ class LinkStateProtocol(RoutingProtocol):
 
     def _install_accurate_view(self) -> None:
         now = self.sim.now
-        # One bulk neighbour map from the topology index, then batched CSI
-        # lookups per row (one origin-position fetch per terminal).
-        for u, nbrs in self.network.adjacency(now).items():
-            self.adj[u] = self.channel.csi_hop_distances(u, nbrs, now)
+        # One bulk neighbour map from the topology index, then the whole
+        # network's CSI scan as a single flattened channel pipeline.
+        self.adj = self.channel.csi_hop_map(self.network.adjacency(now), now)
         self._next_hop_cache = None
 
     # ------------------------------------------------------------------
@@ -94,10 +93,15 @@ class LinkStateProtocol(RoutingProtocol):
     def _monitor_links(self) -> None:
         now = self.sim.now
         me = self.node.id
+        # One grid-backed neighbour query + one vectorized CSI pipeline
+        # per monitor tick (the per-neighbour Python loop lives in the
+        # channel backend, not here).
         current: Dict[int, float] = self.channel.csi_hop_distances(
             me, self.network.neighbors(me, now), now
         )
         advertised = self.adj.get(me, {})
+        if current == advertised:
+            return  # steady state: nothing to flood, nothing to rebuild
         changes: List[Tuple[int, float]] = []
         for v, cost in current.items():
             if advertised.get(v) != cost:

@@ -30,7 +30,9 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import ConfigurationError, TopologyError
 from repro.geometry.field import Field
@@ -48,9 +50,26 @@ class _Snapshot:
     ``candidates`` memoises, per ``(cell, reach)``, the flattened bucket
     concatenation of the cell's ``(2*reach + 1)²`` neighbourhood — every
     query from the same cell at the same epoch shares one list.
+
+    ``coords``/``slot_of`` are the lazily-built array view used by the
+    batched queries: an (n, 2) float array of every position plus the
+    id -> row mapping (``slot_of is None`` flags the dense fast path
+    where ids 0..n-1 index ``coords`` directly).  The array is only
+    built once a snapshot has served about a full field's worth of
+    batched gathers (``gathered``) — a snapshot that answers a single
+    neighbour-set query never pays the O(n) conversion.
     """
 
-    __slots__ = ("time", "positions", "cells", "cell_of", "candidates")
+    __slots__ = (
+        "time",
+        "positions",
+        "cells",
+        "cell_of",
+        "candidates",
+        "coords",
+        "slot_of",
+        "gathered",
+    )
 
     def __init__(
         self,
@@ -64,6 +83,25 @@ class _Snapshot:
         self.cells = cells
         self.cell_of = cell_of
         self.candidates: Dict[Tuple[int, int, int], List[int]] = {}
+        self.coords: Optional[np.ndarray] = None
+        self.slot_of: Optional[Dict[int, int]] = None
+        self.gathered = 0
+
+    def coords_array(self) -> np.ndarray:
+        """The (n, 2) coordinate array (built on first batched query)."""
+        coords = self.coords
+        if coords is None:
+            positions = self.positions
+            n = len(positions)
+            if n == 0:
+                coords = np.empty((0, 2))
+            else:
+                coords = np.array(list(positions.values()))
+                ids = np.fromiter(positions.keys(), dtype=np.intp, count=n)
+                if not bool((ids == np.arange(n, dtype=np.intp)).all()):
+                    self.slot_of = {nid: i for i, nid in enumerate(positions)}
+            self.coords = coords
+        return coords
 
 
 class TopologyIndex:
@@ -184,6 +222,116 @@ class TopologyIndex:
         return self.distance(a, b, t) <= range_m
 
     # ------------------------------------------------------------------
+    # Batched point queries (one array pipeline per candidate set)
+    # ------------------------------------------------------------------
+    def positions_of(self, ids: Sequence[int], t: float) -> List[Vec2]:
+        """Positions of every node in ``ids`` at ``t`` (epoch-cached when
+        a snapshot for ``snap(t)`` already exists; never builds one)."""
+        ts = self.snap(t)
+        latest = self._latest
+        snapshot = (
+            latest
+            if latest is not None and latest.time == ts
+            else self._snapshots.get(ts)
+        )
+        try:
+            if snapshot is not None:
+                positions = snapshot.positions
+                return [positions[nid] for nid in ids]
+            fns = self._position_fns
+            return [fns[nid](ts) for nid in ids]
+        except KeyError as exc:
+            raise TopologyError(f"unknown node id {exc.args[0]}") from None
+
+    def distances_from(self, node_id: int, others: Sequence[int], t: float) -> np.ndarray:
+        """Distances (metres) from ``node_id`` to every node in ``others``.
+
+        The batched core of the vectorized channel pipeline: one origin
+        fetch, one coordinate gather, one ``hypot`` over the whole
+        candidate set.  When a snapshot for ``snap(t)`` exists its cached
+        coordinate array is fancy-indexed directly (node ids are dense in
+        practice, so the id list *is* the index); otherwise the involved
+        trajectories are evaluated pointwise, never forcing a snapshot.
+        """
+        origin = self.position(node_id, t)
+        if not others:
+            return np.empty(0)
+        ts = self.snap(t)
+        latest = self._latest
+        snapshot = (
+            latest
+            if latest is not None and latest.time == ts
+            else self._snapshots.get(ts)
+        )
+        if snapshot is not None and snapshot.coords is None:
+            snapshot.gathered += len(others)
+            if snapshot.gathered >= len(snapshot.positions):
+                snapshot.coords_array()  # heavy reuse: amortise into one array
+        if snapshot is not None and snapshot.coords is not None:
+            coords = snapshot.coords
+            slot_of = snapshot.slot_of
+            try:
+                if slot_of is None:
+                    idx = np.asarray(others, dtype=np.intp)
+                    if idx.size and (idx.max() >= coords.shape[0] or idx.min() < 0):
+                        raise TopologyError(f"unknown node id in {others!r}")
+                else:
+                    idx = np.fromiter(
+                        (slot_of[b] for b in others), dtype=np.intp, count=len(others)
+                    )
+            except KeyError as exc:
+                raise TopologyError(f"unknown node id {exc.args[0]}") from None
+            pts = coords[idx]
+            dx = pts[:, 0] - origin.x
+            dy = pts[:, 1] - origin.y
+        else:
+            flat: List[float] = []
+            append = flat.append
+            if snapshot is not None:
+                positions = snapshot.positions
+                try:
+                    for b in others:
+                        p = positions[b]
+                        append(p.x)
+                        append(p.y)
+                except KeyError:
+                    raise TopologyError(f"unknown node id {b}") from None
+            else:
+                fns = self._position_fns
+                try:
+                    for b in others:
+                        p = fns[b](ts)
+                        append(p.x)
+                        append(p.y)
+                except KeyError:
+                    raise TopologyError(f"unknown node id {b}") from None
+            pts = np.array(flat).reshape(-1, 2)
+            dx = pts[:, 0] - origin.x
+            dy = pts[:, 1] - origin.y
+        return np.hypot(dx, dy)
+
+    def which_within(
+        self, node_id: int, others: Sequence[int], t: float, range_m: float
+    ) -> np.ndarray:
+        """Boolean mask over ``others``: within ``range_m`` of ``node_id``
+        (``node_id`` itself, if present, is masked out)."""
+        mask = self.distances_from(node_id, others, t) <= range_m
+        for i, nid in enumerate(others):
+            if nid == node_id:
+                mask[i] = False
+        return mask
+
+    def any_within(
+        self, node_id: int, others: Sequence[int], t: float, range_m: float
+    ) -> bool:
+        """True if any node in ``others`` is within ``range_m`` of
+        ``node_id`` (cheap scalar loop for tiny candidate sets)."""
+        if len(others) <= 3:
+            within = self.within
+            return any(within(nid, node_id, t, range_m) for nid in others)
+        return bool(self.which_within(node_id, others, t, range_m).any())
+
+    # ------------------------------------------------------------------
     # Set queries (grid-backed, build/reuse a snapshot)
     # ------------------------------------------------------------------
     def neighbors(self, node_id: int, t: float, radius: Optional[float] = None) -> List[int]:
@@ -239,6 +387,17 @@ class TopologyIndex:
     def neighbor_map(self, t: float, radius: Optional[float] = None) -> Dict[int, List[int]]:
         """Full ``{id: neighbours}`` map at ``t`` in one pass over the grid."""
         return {nid: self.neighbors(nid, t, radius) for nid in sorted(self._position_fns)}
+
+    def coords_view(self, t: float) -> Tuple[np.ndarray, Optional[Dict[int, int]]]:
+        """The epoch's positions as ``(coords, slot_of)`` arrays.
+
+        ``coords`` is an (n, 2) float array; ``slot_of`` maps node id to
+        row, or is None when ids are dense (``coords[id]`` directly).
+        Builds the snapshot — this is a bulk query by contract; the
+        network-wide channel scans amortise it over every pair.
+        """
+        snapshot = self._snapshot(t)
+        return snapshot.coords_array(), snapshot.slot_of
 
     def positions(self, t: float) -> Dict[int, Vec2]:
         """All cached positions at ``snap(t)`` (builds the snapshot)."""

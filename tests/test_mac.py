@@ -84,6 +84,53 @@ class TestMedium:
         assert medium.total_transmissions == 100
         assert len(medium._transmissions) < 100  # old entries pruned
 
+    def test_prune_horizon_stretches_to_longest_airtime(self):
+        """An oversized packet keeps its overlap history alive."""
+        medium, _ = make_medium({0: Vec2(0, 0), 1: Vec2(100, 0), 2: Vec2(150, 0)})
+        tx = medium.begin(0, 0.0, 1.0, Packet(10, 0.0))  # 1 s airtime
+        medium.begin(2, 0.5, 1.5, Packet(10, 0.0))
+        assert tx in medium._transmissions
+        assert medium.collided(tx, 1)
+
+    def test_lost_receivers_matches_collided(self):
+        positions = {i: Vec2(i * 60.0, 0.0) for i in range(30)}
+        medium, _ = make_medium(positions)
+        tx = medium.begin(0, 0.0, 0.001, Packet(10, 0.0))
+        # Several overlapping interferers at varying ranges plus one
+        # receiver that transmits itself (half-duplex case).
+        medium.begin(20, 0.0002, 0.0012, Packet(10, 0.0))
+        medium.begin(29, 0.0004, 0.0014, Packet(10, 0.0))
+        medium.begin(5, 0.0006, 0.0016, Packet(10, 0.0))
+        receivers = list(range(1, 30))
+        lost = medium.lost_receivers(tx, receivers)
+        assert lost == {r for r in receivers if medium.collided(tx, r)}
+
+    def test_lost_receivers_no_interference(self):
+        medium, _ = make_medium({0: Vec2(0, 0), 1: Vec2(100, 0)})
+        tx = medium.begin(0, 0.0, 0.001, Packet(10, 0.0))
+        assert medium.lost_receivers(tx, [1]) == set()
+
+    def test_lost_receivers_matrix_path_matches_collided(self):
+        """With a topology attached (static nodes), the batched
+        senders-by-receivers matrix agrees with per-pair collided()."""
+        from repro.geometry.field import Field
+        from repro.mobility.static import StaticPosition
+        from repro.topology import TopologyIndex
+
+        positions = {i: Vec2((i * 97) % 2000, (i * 53) % 1500) for i in range(40)}
+        config = ChannelConfig(shadow_sigma_db=0.0, fast_sigma_db=0.0)
+        channel = ChannelModel(config, RandomStreams(5), lambda nid, t: positions[nid])
+        topo = TopologyIndex(Field(2000, 2000), radius=250.0)
+        for nid, pos in positions.items():
+            topo.add(nid, StaticPosition(pos).position)
+        medium = CommonChannelMedium(channel, topology=topo)
+        tx = medium.begin(0, 0.0, 0.001, Packet(10, 0.0))
+        for i, sender in enumerate((30, 35, 39, 12, 25)):
+            medium.begin(sender, 0.0001 * (i + 1), 0.0001 * (i + 1) + 0.001, Packet(10, 0.0))
+        receivers = list(range(1, 40))
+        lost = medium.lost_receivers(tx, receivers)
+        assert lost == {r for r in receivers if medium.collided(tx, r)}
+
 
 class TestCsmaMac:
     def test_broadcast_reaches_all_neighbours(self, sim, streams):
