@@ -5,13 +5,46 @@ high mobility, all five metrics side by side.
 Usage::
 
     python examples/protocol_shootout.py [--duration 20] [--trials 1]
+
+    # Also sweep the RREQ-aggregation window (off vs 40 ms) on the
+    # on-demand protocols and compare the flood-storm cost:
+    python examples/protocol_shootout.py --rreq-aggregation 0.04
 """
 
 import argparse
 
-from repro import ScenarioConfig, run_trials
+from repro import ScenarioConfig, run_scenario, run_trials
 from repro.analysis.tables import format_table
 from repro.routing.registry import available_protocols
+
+
+def rreq_aggregation_sweep(base: ScenarioConfig, window_s: float) -> None:
+    """Demonstrate the ``rreq_aggregation_s`` knob: off vs on, per protocol."""
+    rows = []
+    for protocol in ("rica", "aodv"):
+        for window in (0.0, window_s):
+            report = run_scenario(
+                base.with_(
+                    protocol=protocol, mean_speed_kmh=72.0, rreq_aggregation_s=window
+                )
+            )
+            rows.append(
+                [
+                    protocol,
+                    f"{window * 1e3:.0f} ms",
+                    report.control_tx_count.get("rreq", 0),
+                    report.events.get("rreq_suppressed", 0),
+                    report.overhead_kbps,
+                    report.delivery_pct,
+                ]
+            )
+    print(
+        format_table(
+            ["protocol", "window", "rreq_tx", "suppressed", "overhead_kbps", "delivery_%"],
+            rows,
+            title="\n=== RREQ aggregation sweep (72 km/h) ===",
+        )
+    )
 
 
 def main() -> None:
@@ -19,6 +52,11 @@ def main() -> None:
     parser.add_argument("--duration", type=float, default=20.0)
     parser.add_argument("--trials", type=int, default=1)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--rreq-aggregation", type=float, default=0.0, metavar="SECONDS",
+        help="if > 0, also sweep the on-demand protocols with the RREQ-"
+        "aggregation window off vs on at this value",
+    )
     args = parser.parse_args()
 
     base = ScenarioConfig(duration_s=args.duration, rate_pps=10.0, seed=args.seed)
@@ -46,6 +84,8 @@ def main() -> None:
                 f"{args.duration:.0f}s x {args.trials} trial(s) ===",
             )
         )
+    if args.rreq_aggregation > 0:
+        rreq_aggregation_sweep(base, args.rreq_aggregation)
 
 
 if __name__ == "__main__":

@@ -56,6 +56,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--channel-backend", default="vectorized", choices=list(CHANNEL_BACKENDS),
         help="fading backend (scalar = per-pair Python processes)",
     )
+    run_p.add_argument(
+        "--rreq-aggregation", type=float, default=0.0, metavar="SECONDS",
+        help="RREQ-aggregation jitter window in seconds "
+        "(0 = the paper's immediate-relay flooding)",
+    )
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("figure_id", choices=list_figures())
@@ -109,6 +114,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         n_flows=args.flows,
         seed=args.seed,
         channel_backend=args.channel_backend,
+        rreq_aggregation_s=args.rreq_aggregation,
     )
     agg = run_trials(config, args.trials)
     rows = [

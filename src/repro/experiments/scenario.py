@@ -75,6 +75,12 @@ class ScenarioConfig:
     #: query times; > 0 freezes them per quantum (faster, positions stale
     #: by at most one quantum — see docs/ARCHITECTURE.md).
     position_epoch_s: float = 0.0
+    #: RREQ-aggregation jitter window (s) for the on-demand protocols.  0
+    #: (the default) is the paper's immediate-relay flooding; > 0 holds
+    #: each relay for a random fraction of the window, coalescing duplicate
+    #: copies and suppressing relays whose area neighbours already covered
+    #: (see docs/ARCHITECTURE.md, "The reception pipeline").
+    rreq_aggregation_s: float = 0.0
     #: Attach a structured tracer (repro.trace) to every protocol instance.
     enable_trace: bool = False
 
@@ -89,6 +95,13 @@ class ScenarioConfig:
             raise ConfigurationError("warmup_s must lie in [0, duration_s)")
         if self.position_epoch_s < 0:
             raise ConfigurationError("position_epoch_s must be >= 0")
+        if self.rreq_aggregation_s < 0:
+            raise ConfigurationError("rreq_aggregation_s must be >= 0")
+        if self.rreq_aggregation_s > 0 and self.protocol_config is not None:
+            raise ConfigurationError(
+                "rreq_aggregation_s conflicts with an explicit protocol_config; "
+                "set rreq_aggregation_s on the protocol_config instead"
+            )
         if self.mobility_model not in ("waypoint", "direction"):
             raise ConfigurationError(
                 f"unknown mobility model {self.mobility_model!r}; "
@@ -183,6 +196,10 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
         # Each protocol module ships its own config subclass with defaults;
         # fall back to the shared base when the class has none.
         proto_config = _default_config_for(cls)
+        # The scenario-level window only applies to configs built here; a
+        # caller-supplied protocol_config keeps its own aggregation setting
+        # (and is never mutated by the scenario knob).
+        proto_config.rreq_aggregation_s = config.rreq_aggregation_s
     proto_config.flow_rates_bps.update(flow_rates)
 
     protocols = [

@@ -17,6 +17,6 @@ is the per-node transmitter.
 """
 
 from repro.mac.medium import CommonChannelMedium, Transmission
-from repro.mac.csma import CsmaMac, MacConfig
+from repro.mac.csma import CsmaMac, MacConfig, ReceptionBatch
 
-__all__ = ["CommonChannelMedium", "Transmission", "CsmaMac", "MacConfig"]
+__all__ = ["CommonChannelMedium", "Transmission", "CsmaMac", "MacConfig", "ReceptionBatch"]

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, List, Set
 
 from repro.errors import ConfigurationError
 from repro.mac.medium import CommonChannelMedium, Transmission
@@ -32,10 +32,50 @@ from repro.sim.engine import Simulator
 if TYPE_CHECKING:  # pragma: no cover
     from repro.channel.model import ChannelModel
 
-__all__ = ["CsmaMac", "MacConfig"]
+__all__ = ["CsmaMac", "MacConfig", "ReceptionBatch"]
 
-# Receiver callback: (receiver_id, packet, sender_id)
-DeliverFn = Callable[[int, Packet, int], None]
+
+class ReceptionBatch:
+    """One completed broadcast, resolved for its whole delivery set.
+
+    The unit of work the MAC hands the network: the transmitted packet,
+    every receiver that was in decode range at transmission start, and the
+    subset that lost the packet to a collision (already resolved by the
+    medium's batched interference query).  Downstream dispatch iterates
+    the survivors once instead of re-entering the network per receiver.
+    """
+
+    __slots__ = ("packet", "sender", "receivers", "lost", "completed_at")
+
+    def __init__(
+        self,
+        packet: Packet,
+        sender: int,
+        receivers: List[int],
+        lost: Set[int],
+        completed_at: float,
+    ) -> None:
+        self.packet = packet
+        self.sender = sender
+        self.receivers = receivers
+        self.lost = lost
+        self.completed_at = completed_at
+
+    @property
+    def delivered_count(self) -> int:
+        """Receivers that actually decode the packet."""
+        return len(self.receivers) - len(self.lost)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ReceptionBatch(sender={self.sender}, kind={self.packet.kind!r}, "
+            f"receivers={len(self.receivers)}, lost={len(self.lost)})"
+        )
+
+
+# Batch dispatch: the network delivers one ReceptionBatch to all surviving
+# receivers through its precomputed handler table.
+DispatchFn = Callable[[ReceptionBatch], None]
 # Neighbour query: (node_id, time) -> list of node ids in range.  The
 # network wires this to its grid-backed TopologyIndex, so the delivery
 # set at transmission start is a cell-neighbourhood scan, not an O(n)
@@ -71,10 +111,16 @@ class MacConfig:
             raise ConfigurationError("bit_rate_bps must be positive")
         if self.queue_capacity <= 0:
             raise ConfigurationError("queue_capacity must be positive")
+        if self.initial_defer_max_s < 0:
+            raise ConfigurationError("initial_defer_max_s must be >= 0")
         if not (0 < self.backoff_min_s <= self.backoff_max_s):
             raise ConfigurationError("backoff window must satisfy 0 < min <= max")
         if self.max_attempts < 1:
             raise ConfigurationError("max_attempts must be >= 1")
+        if self.cs_range_factor <= 0:
+            raise ConfigurationError("cs_range_factor must be positive")
+        if self.queue_residence_s is not None and self.queue_residence_s <= 0:
+            raise ConfigurationError("queue_residence_s must be positive (or None)")
 
 
 class CsmaMac:
@@ -89,7 +135,7 @@ class CsmaMac:
         metrics: MetricsCollector,
         config: MacConfig,
         rng: random.Random,
-        deliver: DeliverFn,
+        dispatch: DispatchFn,
         neighbors: NeighborsFn,
     ) -> None:
         self._node_id = node_id
@@ -99,7 +145,7 @@ class CsmaMac:
         self._metrics = metrics
         self._config = config
         self._rng = rng
-        self._deliver = deliver
+        self._dispatch = dispatch
         self._neighbors = neighbors
         self._queue: DropTailQueue[Packet] = DropTailQueue(
             config.queue_capacity, max_residence=config.queue_residence_s
@@ -169,18 +215,20 @@ class CsmaMac:
     def _complete(self, tx: Transmission) -> None:
         # Resolve reception at every node in range at transmission start.
         # The whole delivery set is checked against each interferer in one
-        # batched medium query instead of per-receiver collision walks.
+        # batched medium query instead of per-receiver collision walks, and
+        # the outcome travels to the network as one ReceptionBatch: rx
+        # energy and collision tallies are aggregated here (every receiver
+        # spends listen energy whether or not it decodes the packet) so the
+        # dispatch loop below the network seam touches only survivors.
         receivers = [r for r in self._neighbors(self._node_id, tx.start) if r != self._node_id]
         lost = self._medium.lost_receivers(tx, receivers)
         now = self._sim.now
-        for receiver in receivers:
-            # Receivers spend energy listening whether or not the packet
-            # survives the collision check.
-            self._metrics.record_radio(rx_bits=tx.packet.size_bits, now=now)
-            if receiver in lost:
-                self._medium.total_collisions += 1
-                self._metrics.record_event("mac_collision")
-                continue
-            self._deliver(receiver, tx.packet, self._node_id)
+        if receivers:
+            self._metrics.record_radio(rx_bits=tx.packet.size_bits * len(receivers), now=now)
+        if lost:
+            self._medium.record_losses(len(lost))
+            self._metrics.record_event("mac_collision", len(lost))
+        if len(lost) < len(receivers):
+            self._dispatch(ReceptionBatch(tx.packet, self._node_id, receivers, lost, now))
         self._busy = False
         self._pump()

@@ -100,7 +100,30 @@ class CommonChannelMedium:
         self._transmissions: Deque[Transmission] = deque()
         self._max_airtime = 0.0
         self.total_transmissions = 0
-        self.total_collisions = 0
+        #: Receptions lost to a collision, one count per (transmission,
+        #: receiver) pair that failed.  In a dense neighbourhood a single
+        #: corrupted broadcast bumps this once per affected receiver.
+        self.lost_receptions = 0
+        #: Transmissions that lost at least one receiver — the
+        #: per-transmission view of the same outcomes.  ``lost_receptions /
+        #: collided_transmissions`` is the mean blast radius of a collision.
+        self.collided_transmissions = 0
+
+    @property
+    def total_collisions(self) -> int:
+        """Backwards-compatible alias for :attr:`lost_receptions`.
+
+        The old counter conflated per-receiver losses with per-transmission
+        collisions; it always counted per lost receiver, which is what this
+        alias preserves.
+        """
+        return self.lost_receptions
+
+    def record_losses(self, n_lost: int) -> None:
+        """Account one completed transmission that lost ``n_lost`` receivers."""
+        if n_lost > 0:
+            self.lost_receptions += n_lost
+            self.collided_transmissions += 1
 
     def begin(self, sender: int, start: float, end: float, packet: Packet) -> Transmission:
         """Register a new transmission and return its record."""

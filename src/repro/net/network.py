@@ -13,6 +13,17 @@ uniform spatial hash grid over per-epoch-cached positions — so
 O(n) mobility re-evaluation per query.  The ``Network`` methods remain
 the stable facade; new code that needs richer queries (arbitrary radii,
 bulk maps) can reach ``network.topology`` directly.
+
+Control-plane dispatch is batched: the MAC resolves a whole broadcast
+into one :class:`~repro.mac.csma.ReceptionBatch` and hands it to
+:meth:`Network.deliver_control_batch`, which walks the surviving
+receivers through a precomputed ``node_id -> handler`` table.  The table
+snapshots each node's ``receive_control`` bound method the first time a
+batch is dispatched (and is invalidated when nodes are added), so tests
+and tools that stub a node's handler before the simulation starts are
+still honoured, while steady-state dispatch costs one dict lookup and one
+call per reception instead of a facade-method / node-lookup / attribute
+chain.
 """
 
 from __future__ import annotations
@@ -23,13 +34,13 @@ from repro.channel.model import ChannelConfig, ChannelModel
 from repro.errors import TopologyError
 from repro.geometry.field import Field
 from repro.geometry.vector import Vec2
-from repro.mac.csma import CsmaMac, MacConfig
+from repro.mac.csma import CsmaMac, MacConfig, ReceptionBatch
 from repro.mac.medium import CommonChannelMedium
 from repro.metrics.collector import MetricsCollector
 from repro.mobility.base import MobilityModel
 from repro.net.datalink import DataLink, DataLinkConfig
 from repro.net.node import Node
-from repro.net.packet import DataPacket, Packet
+from repro.net.packet import DataPacket
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 from repro.topology import TopologyIndex
@@ -79,6 +90,10 @@ class Network:
         )
         self._datalink_config = datalink_config or DataLinkConfig()
         self._nodes: Dict[int, Node] = {}
+        # Precomputed control-plane handler table (node_id -> bound
+        # receive_control); built lazily on first batch dispatch so
+        # handlers stubbed after construction are captured.
+        self._control_handlers: Optional[Dict[int, Callable]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -97,7 +112,7 @@ class Network:
             metrics=self.metrics,
             config=self._mac_config,
             rng=self.streams.stream(f"mac/{nid}"),
-            deliver=self._deliver_control,
+            dispatch=self.deliver_control_batch,
             neighbors=self.neighbors,
         )
         node.datalink = DataLink(
@@ -113,6 +128,7 @@ class Network:
         )
         self._nodes[nid] = node
         self.topology.add(nid, node.position)
+        self._control_handlers = None  # membership changed: rebuild on next batch
         return node
 
     # ------------------------------------------------------------------
@@ -159,8 +175,37 @@ class Network:
     # ------------------------------------------------------------------
     # Dispatch (MAC/data-link delivery callbacks)
     # ------------------------------------------------------------------
-    def _deliver_control(self, receiver: int, packet: Packet, sender: int) -> None:
-        self._nodes[receiver].receive_control(packet, sender)
+    def invalidate_dispatch(self) -> None:
+        """Force the control-handler table to rebuild on the next batch.
+
+        Call after replacing a node's ``receive_control`` handler once the
+        simulation is already dispatching (rare; tests and tools that stub
+        handlers before the first transmission never need it).
+        """
+        self._control_handlers = None
+
+    def _build_control_handlers(self) -> Dict[int, Callable]:
+        handlers = {nid: node.receive_control for nid, node in self._nodes.items()}
+        self._control_handlers = handlers
+        return handlers
+
+    def deliver_control_batch(self, batch: ReceptionBatch) -> None:
+        """Deliver one resolved broadcast to every surviving receiver.
+
+        Receivers are visited in the order the MAC resolved them (the
+        topology index returns neighbours ascending by id), so handler
+        side effects — scheduled events, queued transmissions — happen in
+        the same deterministic order as per-receiver dispatch did.
+        """
+        handlers = self._control_handlers
+        if handlers is None:
+            handlers = self._build_control_handlers()
+        packet = batch.packet
+        sender = batch.sender
+        lost = batch.lost
+        for receiver in batch.receivers:
+            if receiver not in lost:
+                handlers[receiver](packet, sender)
 
     def _deliver_data(self, receiver: int, packet: DataPacket, sender: int) -> None:
         self._nodes[receiver].receive_data(packet, sender)

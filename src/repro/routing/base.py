@@ -71,6 +71,19 @@ class ProtocolConfig:
     #: Whether later duplicate RREQ/CSI copies with a strictly better metric
     #: may refine a node's reverse/downstream pointer (DESIGN.md note 2).
     refine_pointers: bool = True
+    #: RREQ-aggregation jitter window (s).  0 (the default) preserves the
+    #: paper's behaviour: every terminal relays the first copy of a flood
+    #: immediately.  > 0 holds the relay for a uniform random fraction of
+    #: the window, coalescing duplicate copies heard meanwhile into the one
+    #: pending transmission (best accumulators win) and suppressing it
+    #: entirely once ``rreq_suppress_copies`` duplicates were heard — the
+    #: route-request aggregation idea of Mirzazad-Barijough &
+    #: Garcia-Luna-Aceves, which trades a few ms of discovery latency for
+    #: a large cut in flood-storm control transmissions.
+    rreq_aggregation_s: float = 0.0
+    #: Duplicate copies heard during the jitter window at which the pending
+    #: relay is suppressed (neighbours have already covered this area).
+    rreq_suppress_copies: int = 2
     #: Per-flow offered load in bps, keyed by (src, dst) — BGCA's bandwidth
     #: guard needs it; filled in by the experiment builder.
     flow_rates_bps: Dict[Tuple[int, int], float] = field(default_factory=dict)
@@ -277,6 +290,35 @@ class _ReplyCollector:
         self.timer = None
 
 
+class _PendingRelay:
+    """A relay held back by the RREQ-aggregation jitter window.
+
+    Tracks the best copy seen so far (by the protocol's request metric)
+    plus how many duplicate copies arrived while waiting — the suppression
+    signal: every duplicate heard is a neighbour's relay already covering
+    this terminal's area.
+    """
+
+    __slots__ = ("rreq", "from_id", "hops", "csi", "bottleneck", "metric", "copies")
+
+    def __init__(
+        self,
+        rreq: RouteRequest,
+        from_id: int,
+        hops: int,
+        csi: float,
+        bottleneck: float,
+        metric: tuple,
+    ) -> None:
+        self.rreq = rreq
+        self.from_id = from_id
+        self.hops = hops
+        self.csi = csi
+        self.bottleneck = bottleneck
+        self.metric = metric
+        self.copies = 0  # duplicates heard after the first copy
+
+
 class OnDemandProtocol(RoutingProtocol):
     """Shared machinery of the on-demand family (AODV, RICA, BGCA, ABR)."""
 
@@ -303,6 +345,8 @@ class OnDemandProtocol(RoutingProtocol):
         self._replied = FloodCache()  # floods we already answered
         #: (origin, bcast_id) -> (upstream_neighbor, metric, stored_at)
         self._reverse: Dict[Tuple[int, int], Tuple[int, tuple, float]] = {}
+        #: flood_key -> relay held back by the aggregation jitter window.
+        self._pending_relays: Dict[tuple, _PendingRelay] = {}
 
     # ------------------------------------------------------------------
     # Policy points
@@ -416,9 +460,69 @@ class OnDemandProtocol(RoutingProtocol):
         if self.node.id == rreq.target:
             self._collect_candidate(rreq, from_id, hops_here, csi_here, metric)
             return
-        if not is_new:
+        window = self.config.rreq_aggregation_s
+        if window <= 0:
+            # Paper-faithful: relay the first copy immediately, discard
+            # duplicates.
+            if not is_new:
+                return
+            self._relay_rreq(rreq, from_id, hops_here, csi_here, bottleneck)
             return
-        self._relay_rreq(rreq, from_id, hops_here, csi_here, bottleneck)
+        self._aggregate_rreq(
+            key, is_new, rreq, from_id, hops_here, csi_here, bottleneck, metric, window
+        )
+
+    def _aggregate_rreq(
+        self,
+        key: tuple,
+        is_new: bool,
+        rreq: RouteRequest,
+        from_id: int,
+        hops_here: int,
+        csi_here: float,
+        bottleneck: float,
+        metric: tuple,
+        window: float,
+    ) -> None:
+        """Hold, coalesce or suppress this copy's relay (aggregation on).
+
+        The first copy schedules the relay after a uniform random jitter in
+        ``(0, window)``; duplicates arriving before the flush are folded
+        into the pending relay (for additive metrics the best accumulators
+        win, mirroring the reverse-pointer refinement rule) and counted as
+        evidence that neighbours already re-broadcast nearby.
+        """
+        if is_new:
+            pending = _PendingRelay(rreq, from_id, hops_here, csi_here, bottleneck, metric)
+            self._pending_relays[key] = pending
+            self.sim.schedule(self.rng.uniform(0.0, window), self._flush_relay, key)
+            return
+        pending = self._pending_relays.get(key)
+        if pending is None:
+            return  # already flushed (or suppressed): a plain duplicate
+        pending.copies += 1
+        if self.refinement_safe and metric < pending.metric:
+            pending.rreq = rreq
+            pending.from_id = from_id
+            pending.hops = hops_here
+            pending.csi = csi_here
+            pending.bottleneck = bottleneck
+            pending.metric = metric
+
+    def _flush_relay(self, key: tuple) -> None:
+        """The jitter window closed: transmit the coalesced relay, or drop
+        it if enough duplicate copies proved the area already covered."""
+        pending = self._pending_relays.pop(key, None)
+        if pending is None:
+            return
+        if pending.copies >= self.config.rreq_suppress_copies:
+            self.metrics.record_event("rreq_suppressed")
+            return
+        if pending.copies:
+            self.metrics.record_event("rreq_coalesced")
+        self._relay_rreq(
+            pending.rreq, pending.from_id, pending.hops, pending.csi, pending.bottleneck
+        )
 
     def _relay_rreq(
         self,

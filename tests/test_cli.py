@@ -19,6 +19,11 @@ class TestParser:
         assert args.mean_speed == 72.0
         assert args.rate == 20.0
 
+    def test_run_rreq_aggregation_flag(self):
+        args = build_parser().parse_args(["run", "--rreq-aggregation", "0.04"])
+        assert args.rreq_aggregation == 0.04
+        assert build_parser().parse_args(["run"]).rreq_aggregation == 0.0
+
     def test_figure_requires_valid_id(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "fig99"])

@@ -192,3 +192,106 @@ class TestRunControl:
     def test_empty_run_advances_to_until(self, sim):
         sim.run(until=7.0)
         assert sim.now == 7.0
+
+
+class TestBatchSemantics:
+    """The same-timestamp batch sweep must be invisible to callers."""
+
+    def test_event_cancels_same_time_sibling(self, sim):
+        fired = []
+        handles = {}
+
+        def canceller():
+            fired.append("a")
+            handles["b"].cancel()
+
+        sim.schedule(1.0, canceller)
+        handles["b"] = sim.schedule(1.0, fired.append, "b")
+        sim.schedule(1.0, fired.append, "c")
+        sim.run()
+        assert fired == ["a", "c"]
+        assert sim.events_processed == 2  # the cancelled sibling never counts
+
+    def test_consecutive_cancelled_siblings_skipped(self, sim):
+        fired = []
+        handles = {}
+
+        def canceller():
+            fired.append("a")
+            handles["b"].cancel()
+            handles["c"].cancel()
+
+        sim.schedule(1.0, canceller)
+        handles["b"] = sim.schedule(1.0, fired.append, "b")
+        handles["c"] = sim.schedule(1.0, fired.append, "c")
+        sim.schedule(1.0, fired.append, "d")
+        sim.run()
+        assert fired == ["a", "d"]
+
+    def test_stop_mid_batch_leaves_remainder_queued(self, sim):
+        fired = []
+
+        def stopper():
+            fired.append("a")
+            sim.stop()
+
+        sim.schedule(1.0, stopper)
+        sim.schedule(1.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a"]
+        sim.run()  # run() clears the stop flag; the sibling still fires
+        assert fired == ["a", "b"]
+
+    def test_max_events_mid_batch_preserves_remainder(self, sim):
+        fired = []
+        for i in range(3):
+            sim.schedule(1.0, fired.append, i)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=2)
+        assert fired == [0, 1]
+        sim.run()
+        assert fired == [0, 1, 2]
+
+    def test_max_events_at_batch_boundary_leaves_clock_on_fired_event(self, sim):
+        """Regression: the guardrail must not advance now to an unfired
+        batch's timestamp."""
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=1)
+        assert sim.now == 1.0  # the t=2.0 event never fired
+        assert sim.events_processed == 1
+
+    def test_batch_member_scheduling_same_instant_runs_last(self, sim):
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(0.0, fired.append, "child")
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, fired.append, "second")
+        sim.run()
+        assert fired == ["first", "second", "child"]
+
+
+class TestEventKindCounts:
+    def test_counts_by_callback_qualname(self, sim):
+        fired = []
+        for _ in range(3):
+            sim.schedule(1.0, fired.append, "x")
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.event_kind_counts["list.append"] == 3
+        assert sum(sim.event_kind_counts.values()) == sim.events_processed == 4
+
+    def test_step_counts_too(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.step()
+        assert sum(sim.event_kind_counts.values()) == 1
+
+    def test_cancelled_events_not_counted(self, sim):
+        h = sim.schedule(1.0, lambda: None)
+        h.cancel()
+        sim.run()
+        assert sim.event_kind_counts == {}

@@ -40,6 +40,38 @@ class TestScenarioConfig:
             ScenarioConfig(duration_s=0)
         with pytest.raises(ConfigurationError):
             ScenarioConfig(protocol="nope")
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(rreq_aggregation_s=-0.01)
+
+    def test_rreq_aggregation_forwarded_to_protocols(self):
+        scenario = build_scenario(
+            ScenarioConfig(protocol="aodv", rreq_aggregation_s=0.03, **TINY)
+        )
+        assert scenario.protocols[0].config.rreq_aggregation_s == 0.03
+
+    def test_rreq_aggregation_default_off(self):
+        scenario = build_scenario(ScenarioConfig(protocol="aodv", **TINY))
+        assert scenario.protocols[0].config.rreq_aggregation_s == 0.0
+
+    def test_rreq_aggregation_conflicts_with_explicit_protocol_config(self):
+        from repro.routing.base import ProtocolConfig
+
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(
+                protocol="aodv",
+                rreq_aggregation_s=0.03,
+                protocol_config=ProtocolConfig(),
+                **TINY,
+            )
+
+    def test_explicit_protocol_config_keeps_its_aggregation(self):
+        from repro.routing.base import ProtocolConfig
+
+        supplied = ProtocolConfig(rreq_aggregation_s=0.07)
+        scenario = build_scenario(
+            ScenarioConfig(protocol="aodv", protocol_config=supplied, **TINY)
+        )
+        assert scenario.protocols[0].config.rreq_aggregation_s == 0.07
 
 
 class TestBuildScenario:

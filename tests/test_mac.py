@@ -3,6 +3,7 @@
 import pytest
 
 from repro.channel.model import ChannelConfig, ChannelModel
+from repro.errors import ConfigurationError
 from repro.geometry.vector import Vec2
 from repro.mac.csma import MacConfig
 from repro.mac.medium import CommonChannelMedium, Transmission
@@ -11,6 +12,31 @@ from repro.routing.packets import Beacon
 from repro.sim.rng import RandomStreams
 
 from tests.helpers import build_static_network
+
+
+class TestMacConfigValidation:
+    def test_defaults_valid(self):
+        MacConfig()  # no exception
+
+    def test_negative_initial_defer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MacConfig(initial_defer_max_s=-0.001)
+
+    def test_zero_initial_defer_allowed(self):
+        assert MacConfig(initial_defer_max_s=0.0).initial_defer_max_s == 0.0
+
+    @pytest.mark.parametrize("factor", [0.0, -2.0])
+    def test_nonpositive_cs_range_factor_rejected(self, factor):
+        with pytest.raises(ConfigurationError):
+            MacConfig(cs_range_factor=factor)
+
+    @pytest.mark.parametrize("residence", [0.0, -0.5])
+    def test_nonpositive_queue_residence_rejected(self, residence):
+        with pytest.raises(ConfigurationError):
+            MacConfig(queue_residence_s=residence)
+
+    def test_none_queue_residence_disables_staleness(self):
+        assert MacConfig(queue_residence_s=None).queue_residence_s is None
 
 
 def make_medium(positions):
@@ -201,3 +227,43 @@ class TestCsmaMac:
             sim, streams, [(0, 0), (100, 0)], mac_config=MacConfig(cs_range_factor=3.0)
         )
         assert network.medium.cs_range_m == pytest.approx(750.0)
+
+
+class TestCollisionCounters:
+    """The medium separates per-receiver losses from per-tx collisions."""
+
+    def _saturate(self, sim, streams):
+        # Hidden-terminal layout: 0 and 2 are 600 m apart (beyond the
+        # 500 m cs range, so they transmit concurrently) while node 2 sits
+        # 360 m from receiver 1 — inside interference range.  Saturating
+        # both senders forces corrupted receptions at node 1.
+        network, metrics = build_static_network(
+            sim, streams, [(0, 0), (240, 0), (600, 0), (840, 0)]
+        )
+        for _ in range(30):
+            network.node(0).mac.send(Beacon(0.0, origin=0))
+            network.node(2).mac.send(Beacon(0.0, origin=2))
+        sim.run(until=2.0)
+        return network.medium, metrics
+
+    def test_lost_receptions_match_collision_events(self, sim, streams):
+        medium, metrics = self._saturate(sim, streams)
+        assert medium.lost_receptions > 0
+        assert medium.lost_receptions == metrics.events["mac_collision"]
+
+    def test_collided_transmissions_bounded(self, sim, streams):
+        medium, metrics = self._saturate(sim, streams)
+        # Every collided transmission lost at least one receiver, and
+        # cannot outnumber the per-receiver loss tally or the tx total.
+        assert 0 < medium.collided_transmissions <= medium.lost_receptions
+        assert medium.collided_transmissions <= medium.total_transmissions
+
+    def test_total_collisions_alias(self, sim, streams):
+        medium, _ = self._saturate(sim, streams)
+        assert medium.total_collisions == medium.lost_receptions
+
+    def test_record_losses_zero_is_noop(self):
+        medium, _ = make_medium({0: Vec2(0, 0)})
+        medium.record_losses(0)
+        assert medium.lost_receptions == 0
+        assert medium.collided_transmissions == 0

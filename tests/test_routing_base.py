@@ -129,3 +129,91 @@ class TestRreqTtl:
         sim.run(until=1.0)
         entry = protos[0].table.get_valid(3, sim.now)
         assert entry is not None and entry.next_hop == 1
+
+
+class TestRreqAggregation:
+    """The jitter-window relay: delay, coalesce, suppress."""
+
+    WINDOW = 0.05
+
+    def _config(self, **overrides):
+        return ProtocolConfig(rreq_aggregation_s=self.WINDOW, **overrides)
+
+    def test_relay_held_for_jitter_window(self, sim, streams):
+        network, metrics = build_static_network(
+            sim, streams, [(0, 0), (150, 0), (300, 0)]
+        )
+        protos = attach_protocols(network, metrics, "aodv", self._config())
+        rreq = RouteRequest(0.0, origin=0, target=99, bcast_id=1)
+        protos[1].on_rreq(rreq, from_id=0)
+        assert len(protos[1]._pending_relays) == 1
+        sim.run(until=1.0)
+        # Node 1 relayed once (after its jitter); node 2 heard that relay
+        # and relayed once itself; node 0 ignores its own flood's echo.
+        assert metrics.control_tx_count["rreq"] == 2
+        assert not protos[1]._pending_relays
+
+    def test_duplicates_coalesce_to_best_metric(self, sim, streams):
+        network, metrics = build_static_network(
+            sim, streams, [(0, 0), (150, 0), (300, 0)]
+        )
+        protos = attach_protocols(network, metrics, "aodv", self._config())
+        received = []
+        network.node(2).receive_control = lambda pkt, frm: received.append(pkt)
+        worse = RouteRequest(0.0, origin=0, target=99, bcast_id=1)
+        worse.hops = 3  # arrives first, via a long path
+        better = RouteRequest(0.0, origin=0, target=99, bcast_id=1)
+        protos[1].on_rreq(worse, from_id=0)
+        protos[1].on_rreq(better, from_id=0)  # duplicate, strictly better
+        sim.run(until=1.0)
+        # One coalesced relay went out carrying the better accumulators.
+        assert len(received) == 1
+        assert received[0].hops == 1
+        assert metrics.events["rreq_coalesced"] == 1
+        assert metrics.control_tx_count["rreq"] == 1
+
+    def test_enough_duplicates_suppress_the_relay(self, sim, streams):
+        network, metrics = build_static_network(
+            sim, streams, [(0, 0), (150, 0), (300, 0)]
+        )
+        config = self._config(rreq_suppress_copies=2)
+        protos = attach_protocols(network, metrics, "aodv", config)
+        for _ in range(3):  # first copy + 2 duplicates
+            copy = RouteRequest(0.0, origin=0, target=99, bcast_id=1)
+            protos[1].on_rreq(copy, from_id=0)
+        sim.run(until=1.0)
+        assert metrics.events["rreq_suppressed"] == 1
+        assert metrics.control_tx_count.get("rreq", 0) == 0
+
+    def test_duplicate_after_flush_is_discarded(self, sim, streams):
+        network, metrics = build_static_network(
+            sim, streams, [(0, 0), (150, 0), (300, 0)]
+        )
+        protos = attach_protocols(network, metrics, "aodv", self._config())
+        protos[1].on_rreq(RouteRequest(0.0, origin=0, target=99, bcast_id=1), from_id=0)
+        sim.run(until=1.0)  # the window closed and the relay went out
+        sent = metrics.control_tx_count["rreq"]
+        protos[1].on_rreq(RouteRequest(0.0, origin=0, target=99, bcast_id=1), from_id=0)
+        sim.run(until=2.0)
+        assert metrics.control_tx_count["rreq"] == sent  # plain duplicate: dropped
+
+    def test_discovery_still_succeeds_with_aggregation(self, sim, streams):
+        from tests.helpers import send_app_packet
+
+        network, metrics = build_static_network(
+            sim, streams, [(i * 150.0, 0.0) for i in range(4)]
+        )
+        attach_protocols(network, metrics, "aodv", self._config())
+        send_app_packet(network, metrics, 0, 3)
+        sim.run(until=3.0)
+        assert metrics.delivered == 1
+
+    def test_window_zero_relays_immediately(self, sim, streams):
+        network, metrics = build_static_network(
+            sim, streams, [(0, 0), (150, 0), (300, 0)]
+        )
+        protos = attach_protocols(network, metrics, "aodv")  # default config
+        protos[1].on_rreq(RouteRequest(0.0, origin=0, target=99, bcast_id=1), from_id=0)
+        assert not protos[1]._pending_relays  # handed straight to the MAC
+        sim.run(until=1.0)
+        assert "rreq_coalesced" not in metrics.events
