@@ -4,17 +4,20 @@ The worst case the paper's "each common-channel transmission counts as one
 routing transmission" accounting produces: many terminals starting route
 discoveries at once in a dense arena, so every RREQ flood fans out into
 hundreds of same-instant receptions.  This benchmark drives that storm at
-n = 200 (paper density, 25 simultaneous flows) twice per protocol — with
-the RREQ-aggregation window off (the paper's immediate-relay flooding) and
-on (40 ms jitter window, the paper's own collection-window scale) — and
-records:
+n = 200 (paper density, 25 simultaneous flows) per protocol — with the
+RREQ-aggregation window off (the paper's immediate-relay flooding) and on
+(40 ms jitter window, the paper's own collection-window scale), plus one
+leg on the batched MAC attempt scheduler — and records:
 
-* the control-transmission reduction aggregation buys (the CI gate:
+* the control-transmission reduction aggregation buys (CI gate:
   >= 1.5x fewer RREQ transmissions at n = 200 for AODV, the pure-flooding
   baseline);
-* engine throughput (events/s) and the event-kind mix, which the batched
-  same-timestamp event loop and `ReceptionBatch` dispatch are meant to
-  keep healthy under the storm;
+* engine throughput in *logical* events/s (physical events plus
+  batch-credited callbacks, so scalar and batched backends are measured
+  in the same unit) and the event-kind mix;
+* the batched-vs-scalar MAC speedup at the storm's stress point (CI
+  gate: >= 3x for AODV; the trajectory target is 5x, which the 2 ms
+  contention slot reaches on an idle machine);
 * the medium's split collision counters (lost receptions vs collided
   transmissions — the mean blast radius of a collision).
 
@@ -28,6 +31,7 @@ import math
 import time
 
 from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.mac.csma import MacConfig
 
 N_NODES = 200
 #: Constant paper density: 50 terminals per 1000 m x 1000 m.
@@ -38,9 +42,19 @@ DURATION_S = 5.0
 AGG_WINDOW_S = 0.04
 #: CI gate: aggregated flooding must cut RREQ transmissions this much.
 MIN_RREQ_REDUCTION = 1.5
+#: Contention-slot width for the batched MAC leg: coarse enough that
+#: whole rounds (and the topology snapshots behind their completions)
+#: coalesce, fine-grained next to the 2 ms minimum backoff window.
+BATCH_SLOT_S = 0.002
+#: CI gate: logical events/s of the batched MAC leg over the scalar
+#: baseline for AODV (measured ~5x on an idle machine; gated at 3x to
+#: absorb CI-runner noise).
+MIN_MAC_SPEEDUP = 3.0
 
 
-def _storm_config(protocol: str, window_s: float) -> ScenarioConfig:
+def _storm_config(
+    protocol: str, window_s: float, mac_backend: str = "scalar", slot_s: float = 0.0
+) -> ScenarioConfig:
     return ScenarioConfig(
         protocol=protocol,
         n_nodes=N_NODES,
@@ -49,16 +63,21 @@ def _storm_config(protocol: str, window_s: float) -> ScenarioConfig:
         duration_s=DURATION_S,
         seed=1,
         rreq_aggregation_s=window_s,
+        mac_backend=mac_backend,
+        mac=MacConfig(slot_align_s=slot_s),
     )
 
 
-def _run_storm(protocol: str, window_s: float) -> dict:
-    scenario = build_scenario(_storm_config(protocol, window_s))
+def _run_storm(
+    protocol: str, window_s: float, mac_backend: str = "scalar", slot_s: float = 0.0
+) -> dict:
+    scenario = build_scenario(_storm_config(protocol, window_s, mac_backend, slot_s))
     start = time.perf_counter()
     report = scenario.run()
     wall_s = time.perf_counter() - start
     sim = scenario.sim
     medium = scenario.network.medium
+    logical = sim.logical_events_processed
     top_kinds = dict(
         sorted(sim.event_kind_counts.items(), key=lambda kv: -kv[1])[:8]
     )
@@ -73,8 +92,9 @@ def _run_storm(protocol: str, window_s: float) -> dict:
         "lost_receptions": medium.lost_receptions,
         "collided_transmissions": medium.collided_transmissions,
         "events_processed": sim.events_processed,
+        "logical_events": logical,
         "wall_s": round(wall_s, 2),
-        "events_per_s": round(sim.events_processed / wall_s) if wall_s > 0 else 0,
+        "events_per_s": round(logical / wall_s) if wall_s > 0 else 0,
         "top_event_kinds": top_kinds,
     }
 
@@ -86,24 +106,37 @@ def test_flood_storm_aggregation(bench_json_recorder):
         "n_flows": N_FLOWS,
         "duration_s": DURATION_S,
         "aggregation_window_s": AGG_WINDOW_S,
+        "mac_batch_slot_s": BATCH_SLOT_S,
         "workload": "simultaneous route discoveries, paper density",
         "results": {},
     }
     reductions = {}
+    speedups = {}
     for protocol in ("aodv", "rica"):
         off = _run_storm(protocol, 0.0)
         on = _run_storm(protocol, AGG_WINDOW_S)
+        batched = _run_storm(protocol, 0.0, mac_backend="batched", slot_s=BATCH_SLOT_S)
         reduction = off["rreq_tx"] / on["rreq_tx"] if on["rreq_tx"] else math.inf
+        speedup = (
+            batched["events_per_s"] / off["events_per_s"]
+            if off["events_per_s"]
+            else math.inf
+        )
         reductions[protocol] = reduction
+        speedups[protocol] = speedup
         payload["results"][protocol] = {
             "no_aggregation": off,
             "aggregated": on,
+            "batched_mac": batched,
             "rreq_reduction": round(reduction, 2),
+            "events_per_s_batched": batched["events_per_s"],
+            "mac_speedup": round(speedup, 2),
         }
         print(
             f"\n{protocol}: rreq {off['rreq_tx']} -> {on['rreq_tx']} "
             f"({reduction:.2f}x fewer), delivery {off['delivery_pct']:.1f}% -> "
-            f"{on['delivery_pct']:.1f}%, engine {off['events_per_s']}/s"
+            f"{on['delivery_pct']:.1f}%, engine {off['events_per_s']}/s "
+            f"(batched MAC {batched['events_per_s']}/s, {speedup:.2f}x)"
         )
     bench_json_recorder("flood", payload)
     # CI regression gate: aggregation must keep cutting the flood storm on
@@ -111,3 +144,6 @@ def test_flood_storm_aggregation(bench_json_recorder):
     assert reductions["aodv"] >= MIN_RREQ_REDUCTION
     aodv = payload["results"]["aodv"]
     assert aodv["aggregated"]["delivery_pct"] >= 0.8 * aodv["no_aggregation"]["delivery_pct"]
+    # CI perf gate: the batched MAC attempt scheduler must keep its
+    # throughput win at the stress point.
+    assert speedups["aodv"] >= MIN_MAC_SPEEDUP

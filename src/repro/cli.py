@@ -30,6 +30,7 @@ from repro.experiments.campaign import CampaignSpec, run_campaign, save_results
 from repro.experiments.figures import figure_spec, list_figures, run_figure
 from repro.experiments.scenario import ScenarioConfig
 from repro.experiments.sweep import run_trials
+from repro.mac.csma import MAC_BACKENDS, MacConfig
 from repro.routing.registry import available_protocols
 
 __all__ = ["main", "build_parser"]
@@ -60,6 +61,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--rreq-aggregation", type=float, default=0.0, metavar="SECONDS",
         help="RREQ-aggregation jitter window in seconds "
         "(0 = the paper's immediate-relay flooding)",
+    )
+    run_p.add_argument(
+        "--mac-backend", default="scalar", choices=list(MAC_BACKENDS),
+        help="MAC attempt scheduler (scalar = per-event reference; batched = "
+        "BackoffBank + slot-aligned contention rounds + bulk ACK timers)",
+    )
+    run_p.add_argument(
+        "--mac-slot-align", type=float, default=0.0, metavar="SECONDS",
+        help="contention-slot width for the batched MAC backend "
+        "(0 = the paper's continuous, unslotted timing)",
     )
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
@@ -115,6 +126,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         channel_backend=args.channel_backend,
         rreq_aggregation_s=args.rreq_aggregation,
+        mac_backend=args.mac_backend,
+        mac=MacConfig(slot_align_s=args.mac_slot_align),
     )
     agg = run_trials(config, args.trials)
     rows = [

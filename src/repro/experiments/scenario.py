@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.channel.model import CHANNEL_BACKENDS, ChannelConfig
 from repro.errors import ConfigurationError
 from repro.geometry.field import Field
-from repro.mac.csma import MacConfig
+from repro.mac.csma import MAC_BACKENDS, MacConfig
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.report import MetricsReport
 from repro.mobility.direction import RandomDirection
@@ -71,6 +71,12 @@ class ScenarioConfig:
     #: Fading backend: "vectorized" (numpy FadingBank, the default) or
     #: "scalar" (per-pair Python processes; the differential reference).
     channel_backend: str = "vectorized"
+    #: MAC attempt-scheduler backend: "scalar" (the default — per-event
+    #: CSMA state machine, byte-identical to the paper-faithful seed) or
+    #: "batched" (shared BackoffBank + slot-aligned contention rounds +
+    #: bulk ACK timers; pair with ``mac.slot_align_s`` > 0 for the batch
+    #: win — see docs/ARCHITECTURE.md, "The MAC attempt scheduler").
+    mac_backend: str = "scalar"
     #: Topology-index position quantum (s).  0 samples positions at exact
     #: query times; > 0 freezes them per quantum (faster, positions stale
     #: by at most one quantum — see docs/ARCHITECTURE.md).
@@ -111,6 +117,11 @@ class ScenarioConfig:
             raise ConfigurationError(
                 f"unknown channel backend {self.channel_backend!r}; "
                 f"known: {', '.join(CHANNEL_BACKENDS)}"
+            )
+        if self.mac_backend not in MAC_BACKENDS:
+            raise ConfigurationError(
+                f"unknown MAC backend {self.mac_backend!r}; "
+                f"known: {', '.join(MAC_BACKENDS)}"
             )
         protocol_class(self.protocol)  # validate the name early
 
@@ -170,6 +181,7 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
         datalink_config=config.datalink,
         position_epoch_s=config.position_epoch_s,
         channel_backend=config.channel_backend,
+        mac_backend=config.mac_backend,
     )
     mobility_cls = RandomWaypoint if config.mobility_model == "waypoint" else RandomDirection
     for i in range(config.n_nodes):

@@ -17,6 +17,16 @@ is the per-node transmitter.
 """
 
 from repro.mac.medium import CommonChannelMedium, Transmission
-from repro.mac.csma import CsmaMac, MacConfig, ReceptionBatch
+from repro.mac.csma import MAC_BACKENDS, CsmaMac, MacConfig, ReceptionBatch
+from repro.mac.bank import BackoffBank, ContentionScheduler
 
-__all__ = ["CommonChannelMedium", "Transmission", "CsmaMac", "MacConfig", "ReceptionBatch"]
+__all__ = [
+    "CommonChannelMedium",
+    "Transmission",
+    "CsmaMac",
+    "MacConfig",
+    "ReceptionBatch",
+    "MAC_BACKENDS",
+    "BackoffBank",
+    "ContentionScheduler",
+]

@@ -1,0 +1,273 @@
+"""The vectorized CSMA attempt scheduler: backoff bank + contention rounds.
+
+Two pieces turn the MAC's per-attempt scalar hot loop (~70% of all fired
+events in a flood storm) into batched array work, the same trick
+:class:`~repro.channel.bank.FadingBank` applied to fading state:
+
+:class:`BackoffBank`
+    Counter-based per-node uniform draws for defer and backoff intervals.
+    The k-th draw of node ``i`` is the pure function
+    ``splitmix64(key_i + k * gamma)`` with ``key_i`` derived from the
+    master seed (see :mod:`repro.sim.rng`), so results are reproducible
+    per seed and *independent of batch composition*: whether a node
+    redraws alone or inside a 40-contender round, it consumes the same
+    value.  A whole round's redraws come back as one numpy array.
+
+:class:`ContentionScheduler`
+    Groups pending MAC attempts by target instant — optionally snapped
+    onto a shared slot grid (``MacConfig.slot_align_s``; 0 keeps the
+    paper's continuous time, in which rounds are mostly singletons) — and
+    resolves each group in one engine event: one batched carrier-sense
+    query (:meth:`~repro.mac.medium.CommonChannelMedium.busy_many`), one
+    array of backoff redraws, immediate transmission for the idle nodes.
+    Slot alignment is what makes the batch non-trivial *and* what lets
+    transmissions started in the same round share one topology snapshot
+    downstream (their receptions resolve at the same ``tx.start``).
+
+    Within a round, contenders resolve *sequentially in arm order*, each
+    sensing the transmissions started earlier in the same round — the
+    exact semantics of the scalar engine, where same-instant attempts
+    fire in ``(time, seq)`` order and a transmission registered at ``t``
+    is already sensed by a later attempt at ``t`` (``active_at`` uses
+    ``start <= t``).  Without this, a saturated cell degenerates: every
+    aligned contender would start simultaneously, mutually collide, and
+    delivery would collapse — slotting must quantize *when* contention
+    happens, not change *how* it resolves.
+
+The scheduler reports each resolved attempt to the engine's
+:meth:`~repro.sim.engine.Simulator.record_batch` hook under the scalar
+path's event kind, so the event mix and logical-throughput numbers stay
+comparable between backends.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+import numpy as np
+
+from repro.mac.medium import CommonChannelMedium
+from repro.sim.engine import Simulator
+from repro.sim.rng import SPLITMIX_GAMMA, derive_key, splitmix64, splitmix64_array
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mac.csma import CsmaMac
+
+__all__ = ["BackoffBank", "ContentionScheduler"]
+
+_M64 = (1 << 64) - 1
+#: 2**-53 — maps the top 53 bits of a 64-bit word onto [0, 1).
+_PO53 = 2.0**-53
+_U_GAMMA = np.uint64(SPLITMIX_GAMMA)
+#: Logical event kind credited per resolved attempt (matches the scalar
+#: backend's callback qualname so event mixes line up across backends).
+_ATTEMPT_KIND = "CsmaMac._attempt"
+
+
+class BackoffBank:
+    """Counter-based per-node uniform draws for MAC defer/backoff.
+
+    One row per node (key + draw counter, contiguous uint64 arrays); rows
+    are allocated on first use.  Node ids passed to :meth:`uniform_array`
+    must be distinct within one call — guaranteed by the MAC, where a node
+    never has two attempts in flight.
+    """
+
+    def __init__(self, seed: int, capacity: int = 64) -> None:
+        self._seed = int(seed) & _M64
+        cap = max(int(capacity), 16)
+        self._key = np.zeros(cap, dtype=np.uint64)
+        self._ctr = np.zeros(cap, dtype=np.uint64)
+        #: Python-int mirror of ``_key`` (write-once): the scalar fast
+        #: path reads it without a numpy scalar conversion.
+        self._key_int: List[int] = []
+        self._slot_of: Dict[int, int] = {}
+        self._n = 0
+        #: Diagnostics: uniforms consumed across all nodes.
+        self.draws = 0
+
+    @property
+    def node_count(self) -> int:
+        """Nodes with allocated draw state."""
+        return self._n
+
+    def _slot(self, node: int) -> int:
+        slot = self._slot_of.get(node)
+        if slot is None:
+            if self._n == self._key.shape[0]:
+                cap = 2 * self._n
+                for name in ("_key", "_ctr"):
+                    old = getattr(self, name)
+                    new = np.zeros(cap, dtype=np.uint64)
+                    new[: self._n] = old
+                    setattr(self, name, new)
+            slot = self._n
+            self._n += 1
+            key = derive_key(self._seed, node)
+            self._key[slot] = key
+            self._key_int.append(key)
+            self._slot_of[node] = slot
+        return slot
+
+    def uniform(self, node: int) -> float:
+        """Next uniform in [0, 1) for ``node`` (scalar fast path)."""
+        slot = self._slot(node)
+        ctr = self._ctr
+        k = ctr.item(slot)
+        z = splitmix64((self._key_int[slot] + k * SPLITMIX_GAMMA) & _M64)
+        ctr[slot] = k + 1
+        self.draws += 1
+        return (z >> 11) * _PO53
+
+    def uniform_array(self, nodes: List[int]) -> np.ndarray:
+        """Next uniform in [0, 1) for each (distinct) node, as one array.
+
+        Consumes exactly one counter tick per node — identical values to
+        ``[self.uniform(n) for n in nodes]``, at array cost.
+        """
+        slots = np.fromiter(
+            (self._slot(n) for n in nodes), dtype=np.intp, count=len(nodes)
+        )
+        z = splitmix64_array(self._key[slots] + self._ctr[slots] * _U_GAMMA)
+        self._ctr[slots] += np.uint64(1)
+        self.draws += len(nodes)
+        return (z >> np.uint64(11)) * _PO53
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BackoffBank(nodes={self._n}, draws={self.draws})"
+
+
+class ContentionScheduler:
+    """Slot-aligned batching of CSMA attempts across all nodes.
+
+    The batched backend's replacement for per-node ``sim.schedule(delay,
+    mac._attempt, n)`` calls: attempts land in per-instant buckets, one
+    engine event resolves each bucket as a whole contention round.  With
+    ``slot_align_s == 0`` instants are exact (rounds coalesce only true
+    ties); with a positive slot every attempt is deferred to the next grid
+    instant, bounding added latency by one slot while making rounds — and
+    the topology snapshots behind them — shared.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: CommonChannelMedium,
+        bank: BackoffBank,
+        slot_align_s: float = 0.0,
+    ) -> None:
+        self._sim = sim
+        self._medium = medium
+        self.bank = bank
+        self._slot = float(slot_align_s)
+        self._buckets: Dict[float, List[Tuple["CsmaMac", int]]] = {}
+        #: Diagnostics: rounds fired / attempts resolved inside them.
+        self.rounds = 0
+        self.attempts = 0
+
+    def align(self, time: float) -> float:
+        """``time`` rounded up onto the slot grid (identity when slot 0)."""
+        slot = self._slot
+        if slot <= 0.0:
+            return time
+        # Epsilon forgives float noise: an instant already on the grid
+        # stays put instead of slipping a whole slot late.
+        return math.ceil(time / slot - 1e-9) * slot
+
+    def schedule_defer(self, mac: "CsmaMac") -> None:
+        """Start a send cycle: initial defer drawn from the bank."""
+        defer = self.bank.uniform(mac.node_id) * mac.config.initial_defer_max_s
+        self.schedule_attempt(mac, defer, 1)
+
+    def schedule_attempt(self, mac: "CsmaMac", delay: float, attempt: int) -> None:
+        """Enrol ``mac`` in the contention round ``delay`` seconds out."""
+        now = self._sim.now
+        when = self.align(now + delay)
+        if when < now:  # grid rounding must never land in the past
+            when = now
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [(mac, attempt)]
+            self._sim.schedule_at(when, self._run_round, when)
+        else:
+            bucket.append((mac, attempt))
+
+    def _run_round(self, when: float) -> None:
+        # Pop before resolving: side effects below (exhaustion re-pumps,
+        # zero-defer sends) may open a fresh bucket at this same instant,
+        # which then fires as its own round later in the engine's batch.
+        entries = self._buckets.pop(when)
+        self.rounds += 1
+        self.attempts += len(entries)
+        self._sim.record_batch(_ATTEMPT_KIND, len(entries))
+        self._sim.absorb_current_event()  # the round itself is plumbing
+        # Pass 1 (in arm order): drop phantom attempts whose queue drained
+        # or went entirely stale — mirrors the scalar path's head peek.
+        live: List[Tuple["CsmaMac", int, object]] = []
+        for mac, attempt in entries:
+            packet = mac._peek_head(when)
+            if packet is not None:
+                live.append((mac, attempt, packet))
+        if not live:
+            return
+        # One batched carrier-sense query for the whole round — the
+        # pre-round channel state shared by every contender.
+        medium = self._medium
+        node_ids = [mac.node_id for mac, _, _ in live]
+        busy = medium.busy_many(node_ids, when)
+        # Pass 2 (in arm order): sequential resolution.  A contender idle
+        # against the pre-round state must still sense transmissions
+        # started *earlier in this round* — same-instant attempts in the
+        # scalar engine fire in seq order and hear each other exactly this
+        # way.  The probes vectorize as one lazy contender-pairwise
+        # distance matrix (built only when a round actually has both a
+        # winner and later contenders); tiny rounds use per-pair checks.
+        topology = medium.topology
+        cs2 = medium.cs_range_m * medium.cs_range_m
+        dist2 = None
+        round_tx: List[int] = []  # indices into ``live`` of in-round winners
+        redraw: List[Tuple["CsmaMac", int]] = []
+        lows: List[float] = []
+        spans: List[float] = []
+        for j, ((mac, attempt, packet), is_busy) in enumerate(zip(live, busy)):
+            if not is_busy and round_tx:
+                if topology is not None and len(live) > 4:
+                    if dist2 is None:
+                        xy = np.asarray(topology.positions_of(node_ids, when))
+                        d = xy[:, None, :] - xy[None, :, :]
+                        dist2 = (d * d).sum(axis=-1)
+                    is_busy = bool((dist2[j, round_tx] <= cs2).any())
+                else:
+                    node = mac.node_id
+                    is_busy = any(
+                        medium.senses(node_ids[i], node, when) for i in round_tx
+                    )
+            if not is_busy:
+                mac._transmit(packet, when)
+                round_tx.append(j)
+                continue
+            window = mac._backoff_window(attempt, when)
+            if window is None:
+                continue  # attempts exhausted; the mac dropped and re-pumped
+            low, high = window
+            redraw.append((mac, attempt))
+            lows.append(low)
+            spans.append(high - low)
+        if not redraw:
+            return
+        if len(redraw) == 1:  # numpy round-trip loses to one scalar draw
+            mac, attempt = redraw[0]
+            delay = lows[0] + self.bank.uniform(mac.node_id) * spans[0]
+            self.schedule_attempt(mac, delay, attempt + 1)
+            return
+        draws = self.bank.uniform_array([mac.node_id for mac, _ in redraw])
+        delays = np.asarray(lows) + draws * np.asarray(spans)
+        for (mac, attempt), delay in zip(redraw, delays.tolist()):
+            self.schedule_attempt(mac, delay, attempt + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ContentionScheduler(slot={self._slot}, rounds={self.rounds}, "
+            f"attempts={self.attempts})"
+        )

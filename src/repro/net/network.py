@@ -31,10 +31,11 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.channel.model import ChannelConfig, ChannelModel
-from repro.errors import TopologyError
+from repro.errors import ConfigurationError, TopologyError
 from repro.geometry.field import Field
 from repro.geometry.vector import Vec2
-from repro.mac.csma import CsmaMac, MacConfig, ReceptionBatch
+from repro.mac.bank import BackoffBank, ContentionScheduler
+from repro.mac.csma import MAC_BACKENDS, CsmaMac, MacConfig, ReceptionBatch
 from repro.mac.medium import CommonChannelMedium
 from repro.metrics.collector import MetricsCollector
 from repro.mobility.base import MobilityModel
@@ -42,7 +43,8 @@ from repro.net.datalink import DataLink, DataLinkConfig
 from repro.net.node import Node
 from repro.net.packet import DataPacket
 from repro.sim.engine import Simulator
-from repro.sim.rng import RandomStreams
+from repro.sim.rng import RandomStreams, derive_seed
+from repro.sim.timers import TimerWheel
 from repro.topology import TopologyIndex
 
 __all__ = ["Network"]
@@ -62,6 +64,7 @@ class Network:
         datalink_config: Optional[DataLinkConfig] = None,
         position_epoch_s: float = 0.0,
         channel_backend: str = "vectorized",
+        mac_backend: str = "scalar",
     ) -> None:
         self.sim = sim
         self.field = field
@@ -88,6 +91,23 @@ class Network:
             cs_range_m=self._mac_config.cs_range_factor * self.channel.tx_range,
             topology=self.topology,
         )
+        if mac_backend not in MAC_BACKENDS:
+            raise ConfigurationError(
+                f"unknown MAC backend {mac_backend!r}; known: {', '.join(MAC_BACKENDS)}"
+            )
+        self.mac_backend = mac_backend
+        # Batched attempt scheduling: one BackoffBank + ContentionScheduler
+        # shared by every node's MAC, and one TimerWheel coalescing the
+        # data links' ACK/retry deadlines onto the same batch instants.
+        # None in scalar mode — per-node scheduling, the reference path.
+        self.mac_scheduler: Optional[ContentionScheduler] = None
+        self.ack_wheel: Optional[TimerWheel] = None
+        if mac_backend == "batched":
+            bank = BackoffBank(derive_seed(streams.seed, "mac/backoff-bank"))
+            self.mac_scheduler = ContentionScheduler(
+                sim, self.medium, bank, slot_align_s=self._mac_config.slot_align_s
+            )
+            self.ack_wheel = TimerWheel(sim, quantum_s=self._mac_config.slot_align_s)
         self._datalink_config = datalink_config or DataLinkConfig()
         self._nodes: Dict[int, Node] = {}
         # Precomputed control-plane handler table (node_id -> bound
@@ -114,6 +134,7 @@ class Network:
             rng=self.streams.stream(f"mac/{nid}"),
             dispatch=self.deliver_control_batch,
             neighbors=self.neighbors,
+            scheduler=self.mac_scheduler,
         )
         node.datalink = DataLink(
             node_id=nid,
@@ -125,6 +146,7 @@ class Network:
             # Late-bound so routing protocols (attached after construction)
             # and tests that stub the handler are always reached.
             on_link_failure=lambda nh, pkt, rest, n=node: n.on_link_failure(nh, pkt, rest),
+            wheel=self.ack_wheel,
         )
         self._nodes[nid] = node
         self.topology.add(nid, node.position)

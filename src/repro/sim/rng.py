@@ -10,6 +10,14 @@ the stream name, so:
   (unlike sharing one ``random.Random``);
 * two streams with different names are statistically independent for all
   practical purposes (SHA-256 of ``(seed, name)``).
+
+Besides the stateful :class:`random.Random` substreams, this module hosts
+the *counter-based* substream primitives the vectorized banks build on
+(:class:`repro.channel.bank.FadingBank`, :class:`repro.mac.bank.BackoffBank`):
+a splitmix64 finalizer plus :func:`derive_key` / :func:`derive_key_array`,
+which map an entity index onto a 64-bit stream key.  Draw ``k`` of entity
+``i`` is then the pure function ``splitmix64(key_i + k * SPLITMIX_GAMMA)``
+— reproducible per seed and independent of how draws are batched.
 """
 
 from __future__ import annotations
@@ -18,7 +26,59 @@ import hashlib
 import random
 from typing import Dict
 
-__all__ = ["RandomStreams", "derive_seed"]
+import numpy as np
+
+__all__ = [
+    "RandomStreams",
+    "derive_seed",
+    "derive_key",
+    "derive_key_array",
+    "splitmix64",
+    "splitmix64_array",
+    "SPLITMIX_GAMMA",
+]
+
+#: Mask for 64-bit wrapping arithmetic on Python ints.
+_M64 = (1 << 64) - 1
+#: splitmix64 sequence increment (Weyl constant).
+SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+_MIX_1 = 0xBF58476D1CE4E5B9
+_MIX_2 = 0x94D049BB133111EB
+
+# uint64 copies so vectorized ops never leave uint64.
+_U_GAMMA = np.uint64(SPLITMIX_GAMMA)
+_U_MIX_1 = np.uint64(_MIX_1)
+_U_MIX_2 = np.uint64(_MIX_2)
+
+
+def splitmix64(z: int) -> int:
+    """splitmix64 finalizer on a Python int (wraps modulo 2**64)."""
+    z &= _M64
+    z = ((z ^ (z >> 30)) * _MIX_1) & _M64
+    z = ((z ^ (z >> 27)) * _MIX_2) & _M64
+    return z ^ (z >> 31)
+
+
+def splitmix64_array(z: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer, vectorized over uint64 arrays."""
+    z = (z ^ (z >> np.uint64(30))) * _U_MIX_1
+    z = (z ^ (z >> np.uint64(27))) * _U_MIX_2
+    return z ^ (z >> np.uint64(31))
+
+
+def derive_key(seed: int, index: int) -> int:
+    """64-bit counter-stream key for entity ``index`` under ``seed``.
+
+    The ``index + 1`` offset keeps entity 0 from collapsing onto the raw
+    seed; double mixing decorrelates consecutive indices.
+    """
+    return splitmix64(splitmix64((seed + SPLITMIX_GAMMA * (index + 1)) & _M64))
+
+
+def derive_key_array(seed: int, indices: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`derive_key` over an integer index array."""
+    z = np.uint64(seed & _M64) + _U_GAMMA * (indices.astype(np.uint64) + np.uint64(1))
+    return splitmix64_array(splitmix64_array(z))
 
 
 def derive_seed(master_seed: int, name: str) -> int:

@@ -14,6 +14,7 @@ from __future__ import annotations
 import dataclasses
 import json
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -21,6 +22,18 @@ from repro.experiments.scenario import ScenarioConfig, build_scenario
 from repro.sim.engine import Simulator
 
 BASE = ScenarioConfig(protocol="rica", n_nodes=20, duration_s=3.0, seed=5)
+
+
+@pytest.fixture
+def base(mac_backend):
+    """The base scenario on the backend selected by ``--mac-backend``.
+
+    The run-vs-step differential below must hold for *every* MAC backend:
+    the batched scheduler only coalesces events, it never reorders them
+    relative to the ``(time, seq)`` contract.  CI runs this module a
+    second time with ``--mac-backend batched``.
+    """
+    return BASE.with_(mac_backend=mac_backend)
 
 
 def _report_json(report) -> str:
@@ -51,23 +64,33 @@ def _run_stepped(config: ScenarioConfig) -> str:
 
 
 class TestPipelineDeterminism:
-    def test_batched_run_matches_stepped_reference_rica(self):
-        assert _run_batched(BASE) == _run_stepped(BASE)
+    def test_batched_run_matches_stepped_reference_rica(self, base):
+        assert _run_batched(base) == _run_stepped(base)
 
-    def test_batched_run_matches_stepped_reference_aodv(self):
-        config = BASE.with_(protocol="aodv")
+    def test_batched_run_matches_stepped_reference_aodv(self, base):
+        config = base.with_(protocol="aodv")
         assert _run_batched(config) == _run_stepped(config)
 
-    def test_repeated_runs_byte_identical(self):
-        assert _run_batched(BASE) == _run_batched(BASE)
+    def test_repeated_runs_byte_identical(self, base):
+        assert _run_batched(base) == _run_batched(base)
 
-    def test_aggregation_on_is_deterministic(self):
-        config = BASE.with_(protocol="aodv", rreq_aggregation_s=0.02)
+    def test_aggregation_on_is_deterministic(self, base):
+        config = base.with_(protocol="aodv", rreq_aggregation_s=0.02)
         assert _run_batched(config) == _run_stepped(config) == _run_batched(config)
 
-    def test_aggregation_off_vs_on_differ(self):
+    def test_slot_aligned_rounds_match_stepped_reference(self, base):
+        """Slot alignment changes *when* attempts fire, never the engine
+        contract: run-vs-step equality must survive a coarse 2 ms grid."""
+        from repro.mac.csma import MacConfig
+
+        config = base.with_(
+            protocol="aodv", mac_backend="batched", mac=MacConfig(slot_align_s=0.002)
+        )
+        assert _run_batched(config) == _run_stepped(config)
+
+    def test_aggregation_off_vs_on_differ(self, base):
         """Sanity check the knob is actually wired through build_scenario."""
-        config = BASE.with_(protocol="aodv", mean_speed_kmh=72.0)
+        config = base.with_(protocol="aodv", mean_speed_kmh=72.0)
         off = json.loads(_run_batched(config))
         on = json.loads(_run_batched(config.with_(rreq_aggregation_s=0.04)))
         assert "rreq_suppressed" in on["events"] or "rreq_coalesced" in on["events"]
