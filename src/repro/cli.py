@@ -31,6 +31,7 @@ from repro.experiments.figures import figure_spec, list_figures, run_figure
 from repro.experiments.scenario import ScenarioConfig
 from repro.experiments.sweep import run_trials
 from repro.mac.csma import MAC_BACKENDS, MacConfig
+from repro.mobility.bank import MOBILITY_BACKENDS
 from repro.routing.registry import available_protocols
 
 __all__ = ["main", "build_parser"]
@@ -71,6 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--mac-slot-align", type=float, default=0.0, metavar="SECONDS",
         help="contention-slot width for the batched MAC backend "
         "(0 = the paper's continuous, unslotted timing)",
+    )
+    run_p.add_argument(
+        "--mobility-backend", default="scalar", choices=list(MOBILITY_BACKENDS),
+        help="mobility backend (scalar = per-node Python models, the "
+        "reference; batched = MobilityBank segment arrays, one masked "
+        "lerp per topology snapshot)",
     )
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
@@ -128,6 +135,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         rreq_aggregation_s=args.rreq_aggregation,
         mac_backend=args.mac_backend,
         mac=MacConfig(slot_align_s=args.mac_slot_align),
+        mobility_backend=args.mobility_backend,
     )
     agg = run_trials(config, args.trials)
     rows = [

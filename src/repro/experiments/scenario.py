@@ -24,6 +24,7 @@ from repro.geometry.field import Field
 from repro.mac.csma import MAC_BACKENDS, MacConfig
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.report import MetricsReport
+from repro.mobility.bank import MOBILITY_BACKENDS
 from repro.mobility.direction import RandomDirection
 from repro.mobility.waypoint import RandomWaypoint
 from repro.net.datalink import DataLinkConfig
@@ -81,6 +82,14 @@ class ScenarioConfig:
     #: query times; > 0 freezes them per quantum (faster, positions stale
     #: by at most one quantum — see docs/ARCHITECTURE.md).
     position_epoch_s: float = 0.0
+    #: Mobility backend: "scalar" (the default — per-node Python models,
+    #: byte-identical to the paper-faithful seed) or "batched" (one
+    #: MobilityBank of segment arrays with counter-based substreams;
+    #: topology snapshots become a single masked lerp — see
+    #: docs/PERFORMANCE.md).  Batched runs are deterministic per seed but
+    #: draw their trajectories from the counter streams, so they form
+    #: their own reference universe (same contract as channel_backend).
+    mobility_backend: str = "scalar"
     #: RREQ-aggregation jitter window (s) for the on-demand protocols.  0
     #: (the default) is the paper's immediate-relay flooding; > 0 holds
     #: each relay for a random fraction of the window, coalescing duplicate
@@ -122,6 +131,11 @@ class ScenarioConfig:
             raise ConfigurationError(
                 f"unknown MAC backend {self.mac_backend!r}; "
                 f"known: {', '.join(MAC_BACKENDS)}"
+            )
+        if self.mobility_backend not in MOBILITY_BACKENDS:
+            raise ConfigurationError(
+                f"unknown mobility backend {self.mobility_backend!r}; "
+                f"known: {', '.join(MOBILITY_BACKENDS)}"
             )
         protocol_class(self.protocol)  # validate the name early
 
@@ -182,6 +196,7 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
         position_epoch_s=config.position_epoch_s,
         channel_backend=config.channel_backend,
         mac_backend=config.mac_backend,
+        mobility_backend=config.mobility_backend,
     )
     mobility_cls = RandomWaypoint if config.mobility_model == "waypoint" else RandomDirection
     for i in range(config.n_nodes):

@@ -6,6 +6,17 @@ uniform heading and speed, travels until it hits the field boundary,
 pauses, then picks a new heading.  Offered as an extension so the
 sensitivity of the paper's results to the mobility model can be studied
 (see ``benchmarks/test_ablation_mobility.py``).
+
+Boundary-handling rule (explicit, because every variant in the literature
+differs here): a leg always ends *on* the field boundary — the destination
+is the first intersection of the heading ray with the rectangle's edges,
+computed by :func:`boundary_hit` and clamped onto the field.  There is no
+reflection, wrap-around, or in-field leg truncation.  After the pause the
+next heading is drawn uniformly from ``[0, 2π)`` regardless of which edge
+the terminal sits on; if that heading points *outward* (zero travel
+distance), the heading is flipped by π and re-aimed once, with the travel
+time floored at 1 µs so the segment is never degenerate.  Consequently
+terminals touch edges often but never leave ``[0, width] x [0, height]``.
 """
 
 from __future__ import annotations
@@ -20,13 +31,42 @@ from repro.geometry.vector import Vec2
 from repro.mobility.base import MobilityModel
 from repro.mobility.waypoint import Segment
 
-__all__ = ["RandomDirection"]
+__all__ = ["RandomDirection", "boundary_hit"]
 
 _MIN_SPEED = 0.01
 
 
+def boundary_hit(field: Field, origin: Vec2, heading: float) -> Vec2:
+    """First intersection of a heading ray with the field boundary.
+
+    Shared by the scalar model and :class:`repro.mobility.bank.MobilityBank`
+    (segment assembly stays scalar in both, so batched trajectories use the
+    very same cos/sin/division sequence).  Degenerate rays — starting on an
+    edge and pointing outward, or axis-parallel along an edge — return
+    ``origin`` unchanged; the caller re-aims.
+    """
+    dx, dy = math.cos(heading), math.sin(heading)
+    best = math.inf
+    if dx > 1e-12:
+        best = min(best, (field.width - origin.x) / dx)
+    elif dx < -1e-12:
+        best = min(best, -origin.x / dx)
+    if dy > 1e-12:
+        best = min(best, (field.height - origin.y) / dy)
+    elif dy < -1e-12:
+        best = min(best, -origin.y / dy)
+    if not math.isfinite(best) or best < 0:
+        return origin
+    return field.clamp(Vec2(origin.x + dx * best, origin.y + dy * best))
+
+
 class RandomDirection(MobilityModel):
-    """Travel on a uniform heading to the boundary, pause, repeat."""
+    """Travel on a uniform heading to the boundary, pause, repeat.
+
+    See the module docstring for the exact boundary-handling rule.  Speeds
+    are ``uniform(0, max_speed)`` clamped to ``_MIN_SPEED`` for the same
+    speed-decay reason documented on :class:`RandomWaypoint`.
+    """
 
     def __init__(
         self,
@@ -47,6 +87,21 @@ class RandomDirection(MobilityModel):
         origin = start if start is not None else field.random_point(rng)
         self._segments: List[Segment] = [Segment(0.0, 0.0, origin, origin)]
 
+    @property
+    def max_speed(self) -> float:
+        """Configured maximum speed in m/s."""
+        return self._max_speed
+
+    @property
+    def pause_time(self) -> float:
+        """Configured pause at each boundary hit in seconds."""
+        return self._pause
+
+    @property
+    def origin(self) -> Vec2:
+        """Position at t = 0 (the initial zero-length pause's anchor)."""
+        return self._segments[0].a
+
     def position(self, t: float) -> Vec2:
         if t < 0:
             t = 0.0
@@ -60,6 +115,12 @@ class RandomDirection(MobilityModel):
         return self._segments[0].a  # pragma: no cover - defensive
 
     def speed_at(self, t: float) -> float:
+        """Speed at ``t``; 0 during pauses and for parked terminals.
+
+        Like :meth:`RandomWaypoint.speed_at`, the trajectory only *ends*
+        when ``max_speed == 0``; then (and during pauses) the scan finds no
+        covering ``[t_start, t_end)`` interval and 0.0 is reported.
+        """
         if t < 0:
             t = 0.0
         self._extend_to(t)
@@ -81,26 +142,10 @@ class RandomDirection(MobilityModel):
             return Segment(last.t_end, last.t_end + self._pause, last.b, last.b)
         heading = self._rng.uniform(0.0, 2.0 * math.pi)
         speed = max(self._rng.uniform(0.0, self._max_speed), _MIN_SPEED)
-        dest = self._boundary_hit(last.b, heading)
+        dest = boundary_hit(self._field, last.b, heading)
         travel = last.b.distance_to(dest) / speed
         if travel <= 0:  # started on the boundary heading outward: re-aim
             heading += math.pi
-            dest = self._boundary_hit(last.b, heading)
+            dest = boundary_hit(self._field, last.b, heading)
             travel = max(last.b.distance_to(dest) / speed, 1e-6)
         return Segment(last.t_end, last.t_end + travel, last.b, dest)
-
-    def _boundary_hit(self, origin: Vec2, heading: float) -> Vec2:
-        """First intersection of the ray with the field boundary."""
-        dx, dy = math.cos(heading), math.sin(heading)
-        best = math.inf
-        if dx > 1e-12:
-            best = min(best, (self._field.width - origin.x) / dx)
-        elif dx < -1e-12:
-            best = min(best, -origin.x / dx)
-        if dy > 1e-12:
-            best = min(best, (self._field.height - origin.y) / dy)
-        elif dy < -1e-12:
-            best = min(best, -origin.y / dy)
-        if not math.isfinite(best) or best < 0:
-            return origin
-        return self._field.clamp(Vec2(origin.x + dx * best, origin.y + dy * best))

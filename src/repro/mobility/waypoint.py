@@ -30,7 +30,16 @@ _MIN_SPEED = 0.01
 
 
 class Segment:
-    """One linear leg of a waypoint trajectory (or a pause when a == b)."""
+    """One linear leg of a trajectory (or a pause when ``a == b``).
+
+    Zero-length-pause convention: a segment with ``t_end <= t_start`` is an
+    *instantaneous* pause and always evaluates to its anchor ``a`` — the
+    division in :meth:`position` is guarded, never taken.  Models rely on
+    this to keep the move/pause alternation uniform even when
+    ``pause_time == 0`` (every move is still followed by a pause segment,
+    just a zero-length one), and the initial state of every random model is
+    the zero-length pause ``Segment(0, 0, origin, origin)``.
+    """
 
     __slots__ = ("t_start", "t_end", "a", "b")
 
@@ -41,7 +50,13 @@ class Segment:
         self.b = b
 
     def position(self, t: float) -> Vec2:
-        """Position at ``t`` (must lie within the segment)."""
+        """Position at ``t`` (must lie within the segment).
+
+        Zero-length segments (``t_end <= t_start``) return ``a`` exactly;
+        otherwise the anchor-form lerp ``a + (b - a) * frac`` — the same
+        expression :class:`repro.mobility.bank.MobilityBank` vectorizes, so
+        scalar and batched evaluation agree bit-for-bit.
+        """
         if self.t_end <= self.t_start:
             return self.a
         frac = (t - self.t_start) / (self.t_end - self.t_start)
@@ -62,6 +77,15 @@ class Segment:
 
 class RandomWaypoint(MobilityModel):
     """The random-waypoint model with uniform speeds and fixed pauses.
+
+    Speeds are drawn ``uniform(0, max_speed)`` and then clamped from below
+    to ``_MIN_SPEED`` (0.01 m/s).  The clamp exists because the unclamped
+    model is ill-posed: a draw arbitrarily close to 0 produces a travel
+    segment of arbitrarily long duration, so mean speed decays over time
+    and a single unlucky draw can pin a terminal mid-flight for the whole
+    run (the "speed decay" pathology of naive random waypoint).  Clamping
+    at 1 cm/s bounds segment duration without measurably distorting the
+    paper's MAXSPEED ∈ [1, 20] m/s operating range.
 
     Args:
         field: the field to roam.
@@ -97,6 +121,16 @@ class RandomWaypoint(MobilityModel):
         """Configured MAXSPEED in m/s."""
         return self._max_speed
 
+    @property
+    def pause_time(self) -> float:
+        """Configured pause at each waypoint in seconds."""
+        return self._pause
+
+    @property
+    def origin(self) -> Vec2:
+        """Position at t = 0 (the initial zero-length pause's anchor)."""
+        return self._segments[0].a
+
     def position(self, t: float) -> Vec2:
         if t < 0:
             t = 0.0
@@ -106,6 +140,15 @@ class RandomWaypoint(MobilityModel):
         return seg.position(min(max(t, seg.t_start), seg.t_end))
 
     def speed_at(self, t: float) -> float:
+        """Speed at ``t``, with *held-frontier* end-of-trajectory semantics.
+
+        ``max_speed == 0`` is the only way the trajectory ends: the initial
+        zero-length pause stays the last segment forever, and any query at
+        or past its ``t_end`` reports 0.0 (the terminal is parked).  For a
+        moving terminal the trajectory is extended on demand, so the "past
+        the last segment" branch is unreachable and every instant reports
+        the covering segment's speed (0 during pauses).
+        """
         seg = self._segment_at(t)
         if t >= seg.t_end and seg is self._segments[-1]:
             return 0.0

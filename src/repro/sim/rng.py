@@ -29,6 +29,7 @@ from typing import Dict
 import numpy as np
 
 __all__ = [
+    "CounterRandom",
     "RandomStreams",
     "derive_seed",
     "derive_key",
@@ -89,6 +90,44 @@ def derive_seed(master_seed: int, name: str) -> int:
     """
     digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+class CounterRandom:
+    """Stateful view over a counter-based substream.
+
+    Exposes the tiny slice of the ``random.Random`` API the mobility models
+    consume (``random()`` / ``uniform()``), but sources every draw from the
+    pure counter function ``splitmix64(key + k * SPLITMIX_GAMMA)`` — the
+    exact convention :class:`repro.mac.bank.BackoffBank` and
+    :class:`repro.mobility.bank.MobilityBank` use.  Draw ``k`` is converted
+    to a float in ``[0, 1)`` from the top 53 bits, and ``uniform(a, b)``
+    applies the same affine map as ``random.Random.uniform``, so a scalar
+    model driven by a ``CounterRandom`` produces *bitwise* the same
+    trajectory as a bank row sharing its key.  That equivalence is what the
+    scalar-vs-batched differential tests in ``tests/test_mobility_bank.py``
+    pin down.
+    """
+
+    __slots__ = ("_key", "_counter")
+
+    def __init__(self, key: int) -> None:
+        self._key = key & _M64
+        self._counter = 0
+
+    @property
+    def counter(self) -> int:
+        """Number of draws consumed so far."""
+        return self._counter
+
+    def random(self) -> float:
+        """Next uniform float in ``[0, 1)`` (top 53 bits of splitmix64)."""
+        z = splitmix64((self._key + self._counter * SPLITMIX_GAMMA) & _M64)
+        self._counter += 1
+        return (z >> 11) * 2.0**-53
+
+    def uniform(self, a: float, b: float) -> float:
+        """``a + (b - a) * random()`` — bit-compatible with ``random.Random``."""
+        return a + (b - a) * self.random()
 
 
 class RandomStreams:

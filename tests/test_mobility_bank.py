@@ -1,0 +1,225 @@
+"""Differential tests for the vectorized MobilityBank.
+
+The bank's contract is *exact* equality with the scalar models: a bank row
+and a scalar model driven by :class:`repro.sim.rng.CounterRandom` on the
+same ``(seed, row)`` key share every draw bit-for-bit, segment assembly
+uses the same ``math.*`` calls, and evaluation uses the same anchor-form
+lerp — so positions and speeds must match to the last ulp, for any query
+order.  Hypothesis drives that across models, parameters and out-of-order
+query times; further tests pin batched self-determinism, the dense-id
+registration contract, proxy rows for unknown models, and the scenario
+wiring (batched and scalar scenarios start from identical placements).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.geometry.field import Field
+from repro.geometry.vector import Vec2
+from repro.mobility import (
+    BankTrajectory,
+    MobilityBank,
+    MobilityModel,
+    RandomDirection,
+    RandomWaypoint,
+    StaticPosition,
+    WaypointPath,
+)
+from repro.sim.rng import CounterRandom, derive_key
+
+FIELD = Field(1000.0, 700.0)
+
+# Query times deliberately include 0, exact small integers (often segment
+# boundaries for scripted paths), sub-ulp neighbours and far-future points
+# — in arbitrary order, because the bank must answer exactly regardless of
+# how queries interleave with trajectory extension.
+times_strategy = st.lists(
+    st.one_of(
+        st.floats(min_value=0.0, max_value=120.0, allow_nan=False, allow_infinity=False),
+        st.sampled_from([0.0, 1.0, 3.0, 5.0, 9.0, 4.999999999999999, 5.000000000000001]),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+speed_strategy = st.one_of(st.just(0.0), st.floats(min_value=0.05, max_value=30.0))
+pause_strategy = st.one_of(st.just(0.0), st.floats(min_value=0.0, max_value=5.0))
+
+
+def _assert_row_matches(bank, row, model, t):
+    ref = model.position(t)
+    got = bank.position_of(row, t)
+    assert (got.x, got.y) == (ref.x, ref.y)
+    coords = bank.coords_at(t)
+    assert (coords[row, 0], coords[row, 1]) == (ref.x, ref.y)
+    assert bank.speed_of(row, t) == model.speed_at(t)
+
+
+class TestDifferentialEquality:
+    @given(seed=st.integers(0, 2**32 - 1), max_speed=speed_strategy,
+           pause=pause_strategy, times=times_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_waypoint_rows_match_scalar_exactly(self, seed, max_speed, pause, times):
+        bank = MobilityBank(seed, FIELD)
+        bank.add_waypoint(0, max_speed, pause)
+        model = RandomWaypoint(FIELD, CounterRandom(derive_key(seed, 0)), max_speed, pause)
+        for t in times:
+            _assert_row_matches(bank, 0, model, t)
+
+    @given(seed=st.integers(0, 2**32 - 1), max_speed=speed_strategy,
+           pause=pause_strategy, times=times_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_direction_rows_match_scalar_exactly(self, seed, max_speed, pause, times):
+        bank = MobilityBank(seed, FIELD)
+        bank.add_direction(0, max_speed, pause)
+        model = RandomDirection(FIELD, CounterRandom(derive_key(seed, 0)), max_speed, pause)
+        for t in times:
+            _assert_row_matches(bank, 0, model, t)
+
+    @given(times=times_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_path_and_static_rows_match_scalar_exactly(self, times):
+        anchors = [
+            (2.0, Vec2(0.0, 0.0)),
+            (5.0, Vec2(100.0, 50.0)),
+            (9.0, Vec2(100.0, 200.0)),
+        ]
+        bank = MobilityBank(7, FIELD)
+        bank.add_path(0, anchors)
+        bank.add_static(1, Vec2(123.4, 56.7))
+        models = [WaypointPath(anchors), StaticPosition(Vec2(123.4, 56.7))]
+        # Anchor instants are the boundary cases strict selection exists
+        # for: t == t1 must evaluate the earlier segment at frac = 1.0.
+        for t in list(times) + [2.0, 5.0, 9.0]:
+            for row, model in enumerate(models):
+                _assert_row_matches(bank, row, model, t)
+
+    @given(seed=st.integers(0, 2**32 - 1), times=times_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_mixed_bank_matches_scalar_population(self, seed, times):
+        """One bank holding every model kind at once (the scenario shape)."""
+        bank = MobilityBank(seed, FIELD)
+        models = []
+        for i in range(3):
+            bank.add_waypoint(i, 12.0, 1.0)
+            models.append(RandomWaypoint(FIELD, CounterRandom(derive_key(seed, i)), 12.0, 1.0))
+        bank.add_direction(3, 6.0, 0.0)
+        models.append(RandomDirection(FIELD, CounterRandom(derive_key(seed, 3)), 6.0, 0.0))
+        bank.add_static(4, Vec2(9.0, 9.0))
+        models.append(StaticPosition(Vec2(9.0, 9.0)))
+        for t in times:
+            coords = bank.coords_at(t)
+            for row, model in enumerate(models):
+                ref = model.position(t)
+                assert (coords[row, 0], coords[row, 1]) == (ref.x, ref.y)
+
+    def test_negative_times_clamp_to_zero(self):
+        bank = MobilityBank(3, FIELD)
+        bank.add_waypoint(0, 10.0, 1.0)
+        model = RandomWaypoint(FIELD, CounterRandom(derive_key(3, 0)), 10.0, 1.0)
+        assert bank.position_of(0, -5.0) == model.position(-5.0)
+        coords = bank.coords_at(-5.0)
+        assert (coords[0, 0], coords[0, 1]) == tuple(model.position(-5.0))
+
+
+class TestSelfDeterminism:
+    @given(seed=st.integers(0, 2**32 - 1),
+           times_a=times_strategy, times_b=times_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_query_order_cannot_perturb_trajectories(self, seed, times_a, times_b):
+        """Counter-based substreams: two banks on the same seed answer
+        identically no matter how their query schedules differ."""
+        bank_a = MobilityBank(seed, FIELD)
+        bank_b = MobilityBank(seed, FIELD)
+        for bank in (bank_a, bank_b):
+            for i in range(4):
+                bank.add_waypoint(i, 15.0, 0.5)
+            bank.add_direction(4, 8.0, 2.0)
+        for t in times_a:
+            bank_a.coords_at(t)  # extend A along its own schedule
+        for t in times_b:
+            bank_b.coords_at(t)
+        probe = sorted(set(times_a) | set(times_b) | {0.0, 50.0})
+        for t in probe:
+            assert (bank_a.coords_at(t) == bank_b.coords_at(t)).all()
+
+
+class TestRegistrationContract:
+    def test_rows_must_be_dense(self):
+        bank = MobilityBank(1, FIELD)
+        with pytest.raises(ConfigurationError):
+            bank.add_waypoint(1, 10.0)  # row 0 not registered yet
+        bank.add_waypoint(0, 10.0)
+        with pytest.raises(ConfigurationError):
+            bank.add_static(0, Vec2(0.0, 0.0))  # row 0 taken
+
+    def test_unknown_row_queries_raise(self):
+        bank = MobilityBank(1, FIELD)
+        bank.add_static(0, Vec2(1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            bank.position_of(1, 0.0)
+        with pytest.raises(ConfigurationError):
+            bank.speed_of(-1, 0.0)
+
+    def test_invalid_parameters_raise(self):
+        bank = MobilityBank(1, FIELD)
+        with pytest.raises(ConfigurationError):
+            bank.add_waypoint(0, -1.0)
+        with pytest.raises(ConfigurationError):
+            bank.add_direction(0, 5.0, pause_time=-0.1)
+        with pytest.raises(ConfigurationError):
+            bank.add_path(0, [])
+        with pytest.raises(ConfigurationError):
+            bank.add_path(0, [(1.0, Vec2(0, 0)), (1.0, Vec2(1, 1))])
+
+    def test_adopt_returns_bank_views_and_proxies(self):
+        class Orbit(MobilityModel):
+            def position(self, t):
+                return Vec2(100.0 + 10.0 * math.cos(t), 100.0 + 10.0 * math.sin(t))
+
+        bank = MobilityBank(5, FIELD)
+        wp = RandomWaypoint(FIELD, CounterRandom(derive_key(5, 0)), 10.0, 1.0)
+        view = bank.adopt(0, wp)
+        assert isinstance(view, BankTrajectory)
+        assert view.position(0.0) == wp.origin
+        orbit = Orbit()
+        kept = bank.adopt(1, orbit)
+        assert kept is orbit  # unknown models stay scalar, as proxy rows
+        coords = bank.coords_at(2.5)
+        ref = orbit.position(2.5)
+        assert (coords[1, 0], coords[1, 1]) == (ref.x, ref.y)
+        assert bank.position_of(1, 2.5) == ref
+        with pytest.raises(ConfigurationError):
+            bank.adopt(2, view)  # already bank-backed
+
+
+class TestScenarioWiring:
+    def test_batched_scenario_starts_where_scalar_does(self):
+        config = ScenarioConfig(n_nodes=15, duration_s=1.0, seed=11)
+        scalar = build_scenario(config)
+        batched = build_scenario(config.with_(mobility_backend="batched"))
+        assert batched.network.mobility_bank is not None
+        for nid in scalar.network.node_ids:
+            assert scalar.network.position(nid, 0.0) == batched.network.position(nid, 0.0)
+
+    def test_batched_snapshots_come_from_the_bank(self):
+        config = ScenarioConfig(
+            n_nodes=15, duration_s=1.0, seed=11, mobility_backend="batched"
+        )
+        scenario = build_scenario(config)
+        topo = scenario.network.topology
+        coords, slot_of = topo.coords_view(0.5)
+        assert slot_of is None and coords.shape == (15, 2)
+        bank = scenario.network.mobility_bank
+        assert (coords == bank.coords_at(0.5)).all()
+        # Residual scalar queries ride the same arrays.
+        for nid in (0, 7, 14):
+            p = topo.position(nid, 0.5)
+            assert (p.x, p.y) == (coords[nid, 0], coords[nid, 1])
