@@ -9,11 +9,15 @@ Usage::
     # Also sweep the RREQ-aggregation window (off vs 40 ms) on the
     # on-demand protocols and compare the flood-storm cost:
     python examples/protocol_shootout.py --rreq-aggregation 0.04
+
+    # Also sweep deterministic node churn (crashes per node per second)
+    # and compare delivery/repair behaviour under failures:
+    python examples/protocol_shootout.py --churn-rates 0 0.01 0.03
 """
 
 import argparse
 
-from repro import ScenarioConfig, run_scenario, run_trials
+from repro import FaultConfig, NodeChurnConfig, ScenarioConfig, run_scenario, run_trials
 from repro.analysis.tables import format_table
 from repro.routing.registry import available_protocols
 
@@ -47,6 +51,51 @@ def rreq_aggregation_sweep(base: ScenarioConfig, window_s: float) -> None:
     )
 
 
+def churn_sweep(base: ScenarioConfig, rates: list) -> None:
+    """Sweep the churn axis: how each protocol degrades and repairs.
+
+    Faults are seed-derived and deterministic, so every protocol faces
+    the *same* crash/recover timeline at each churn rate.
+    """
+    rows = []
+    for protocol in available_protocols():
+        for rate in rates:
+            faults = (
+                FaultConfig(churn=NodeChurnConfig(crash_rate_per_s=rate))
+                if rate > 0
+                else None
+            )
+            report = run_scenario(
+                base.with_(protocol=protocol, mean_speed_kmh=36.0, faults=faults)
+            )
+            rows.append(
+                [
+                    protocol,
+                    f"{rate:g}/s",
+                    report.events.get("fault_node_crash", 0),
+                    report.delivery_pct,
+                    report.route_breaks,
+                    report.route_repairs,
+                    report.avg_repair_latency_ms,
+                ]
+            )
+    print(
+        format_table(
+            [
+                "protocol",
+                "churn",
+                "crashes",
+                "delivery_%",
+                "breaks",
+                "repairs",
+                "repair_ms",
+            ],
+            rows,
+            title="\n=== node-churn sweep (36 km/h) ===",
+        )
+    )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--duration", type=float, default=20.0)
@@ -56,6 +105,11 @@ def main() -> None:
         "--rreq-aggregation", type=float, default=0.0, metavar="SECONDS",
         help="if > 0, also sweep the on-demand protocols with the RREQ-"
         "aggregation window off vs on at this value",
+    )
+    parser.add_argument(
+        "--churn-rates", type=float, nargs="*", default=None, metavar="RATE",
+        help="if given, also sweep deterministic node churn at these "
+        "per-node crash rates (crashes/s; 0 = fault-free baseline)",
     )
     args = parser.parse_args()
 
@@ -86,6 +140,8 @@ def main() -> None:
         )
     if args.rreq_aggregation > 0:
         rreq_aggregation_sweep(base, args.rreq_aggregation)
+    if args.churn_rates:
+        churn_sweep(base, args.churn_rates)
 
 
 if __name__ == "__main__":

@@ -44,12 +44,24 @@ from repro.experiments import (
 from repro.experiments import (
     CampaignResult,
     CampaignSpec,
+    CellFailure,
+    CellOutcome,
     ExecutionBackend,
     ProcessPoolBackend,
+    RetryPolicy,
     SerialBackend,
     load_results,
     run_campaign,
     save_results,
+)
+from repro.faults import (
+    BlackoutConfig,
+    EnergyFaultConfig,
+    FaultConfig,
+    FaultInjector,
+    FaultSchedule,
+    NodeChurnConfig,
+    NodeOutage,
 )
 from repro.metrics import MetricsCollector, MetricsReport
 from repro.metrics.energy import EnergyModel
@@ -85,13 +97,23 @@ __all__ = [
     "Simulator",
     "CampaignResult",
     "CampaignSpec",
+    "CellFailure",
+    "CellOutcome",
     "ExecutionBackend",
     "ProcessPoolBackend",
+    "RetryPolicy",
     "SerialBackend",
     "TopologyIndex",
     "load_results",
     "run_campaign",
     "save_results",
+    "BlackoutConfig",
+    "EnergyFaultConfig",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultSchedule",
+    "NodeChurnConfig",
+    "NodeOutage",
     "TraceEvent",
     "Tracer",
 ]

@@ -26,11 +26,13 @@ from typing import List, Optional
 
 from repro.analysis.tables import format_table
 from repro.channel.model import CHANNEL_BACKENDS
+from repro.experiments.backend import RetryPolicy
 from repro.experiments.campaign import CampaignSpec, run_campaign, save_results
 from repro.experiments.figures import figure_spec, list_figures, run_figure
 from repro.experiments.scenario import ScenarioConfig
 from repro.experiments.sweep import run_trials
 from repro.mac.csma import MAC_BACKENDS, MacConfig
+from repro.faults import FaultConfig, NodeChurnConfig
 from repro.mobility.bank import MOBILITY_BACKENDS
 from repro.routing.registry import available_protocols
 
@@ -79,6 +81,16 @@ def build_parser() -> argparse.ArgumentParser:
         "reference; batched = MobilityBank segment arrays, one masked "
         "lerp per topology snapshot)",
     )
+    run_p.add_argument(
+        "--node-churn", type=float, default=0.0, metavar="RATE",
+        help="deterministic node churn: per-node crash rate in crashes/s "
+        "(0 = no faults; seed-derived, reproducible)",
+    )
+    run_p.add_argument(
+        "--mean-downtime", type=float, default=5.0, metavar="SECONDS",
+        help="mean down-time of a crashed node before it recovers "
+        "(with --node-churn)",
+    )
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("figure_id", choices=list_figures())
@@ -116,6 +128,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for grid cells (1 = serial; results are "
         "identical to serial for any N)",
     )
+    camp_p.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock bound per grid cell; hung cells are killed and "
+        "retried (process-pool backend)",
+    )
+    camp_p.add_argument(
+        "--max-retries", type=int, default=0,
+        help="extra attempts per cell after the first (exponential "
+        "backoff); with retries the campaign returns partial results "
+        "plus a failure report instead of aborting",
+    )
     camp_p.add_argument("--out", default=None, help="write results JSON here")
 
     sub.add_parser("list", help="list protocols and figures")
@@ -123,6 +146,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    faults = None
+    if args.node_churn > 0:
+        faults = FaultConfig(
+            churn=NodeChurnConfig(
+                crash_rate_per_s=args.node_churn,
+                mean_downtime_s=args.mean_downtime,
+            )
+        )
     config = ScenarioConfig(
         protocol=args.protocol,
         mean_speed_kmh=args.mean_speed,
@@ -136,6 +167,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         mac_backend=args.mac_backend,
         mac=MacConfig(slot_align_s=args.mac_slot_align),
         mobility_backend=args.mobility_backend,
+        faults=faults,
     )
     agg = run_trials(config, args.trials)
     rows = [
@@ -149,6 +181,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{args.protocol} @ {args.mean_speed:.0f} km/h, {args.rate:.0f} pkt/s, "
         f"{args.duration:.0f}s x {args.trials} trial(s)"
     )
+    if faults is not None:
+        title += f", churn {args.node_churn:g}/s"
     print(format_table(["metric", "value"], rows, title))
     return 0
 
@@ -219,12 +253,29 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"# campaign {spec.name!r}: {spec.cells} cells x {spec.trials} trial(s), "
         f"{args.duration:.0f}s each, jobs={args.jobs}"
     )
-    result = run_campaign(spec, progress=lambda key: print(f"  done {key}"), jobs=args.jobs)
+    policy = None
+    if args.max_retries > 0 or args.cell_timeout is not None:
+        policy = RetryPolicy(
+            max_retries=args.max_retries, cell_timeout_s=args.cell_timeout
+        )
+    result = run_campaign(
+        spec,
+        progress=lambda key: print(f"  done {key}"),
+        jobs=args.jobs,
+        policy=policy,
+    )
     rows = [
         [key, agg.avg_delay_ms, agg.delivery_pct, agg.overhead_kbps]
         for key, agg in result.cells.items()
     ]
     print(format_table(["cell", "delay (ms)", "delivery (%)", "overhead (kbps)"], rows))
+    if result.failures:
+        fail_rows = [
+            [key, info["kind"], info["attempts"], info["error"]]
+            for key, info in result.failures.items()
+        ]
+        print(format_table(["failed cell", "kind", "attempts", "error"], fail_rows))
+        print(f"# {len(result.failures)} cell(s) failed after retries; results are partial")
     if args.out:
         save_results(result, args.out)
         print(f"# wrote {args.out}")

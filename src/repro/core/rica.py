@@ -238,6 +238,7 @@ class RicaProtocol(OnDemandProtocol):
         old = self.table.entry(flow_dst)
         changed = old is None or not old.valid or old.next_hop != neighbor
         self.table.set_route(flow_dst, next_hop=neighbor, now=now, csi_distance=csi)
+        self.note_route_repaired(flow_dst)
         rupd = RouteUpdate(
             now,
             flow_src=self.node.id,
@@ -299,6 +300,7 @@ class RicaProtocol(OnDemandProtocol):
             if salvage is not None:
                 self.metrics.record_event("rica_salvage_no_route")
                 self.table.set_route(packet.dst, next_hop=salvage, now=self.sim.now)
+                self.note_route_repaired(packet.dst)
                 self.send_data(packet, salvage)
                 return
         super().on_no_route(packet)
@@ -343,7 +345,7 @@ class RicaProtocol(OnDemandProtocol):
         self, next_hop: int, packet: DataPacket, queued: List[DataPacket]
     ) -> None:
         now = self.sim.now
-        self.table.invalidate_via(next_hop)
+        self.invalidate_routes_via(next_hop)
         flows = set()
         for pkt in [packet] + queued:
             if pkt.src == self.node.id:
@@ -354,6 +356,7 @@ class RicaProtocol(OnDemandProtocol):
             if salvage is not None:
                 self.metrics.record_event("rica_salvage")
                 self.table.set_route(pkt.dst, next_hop=salvage, now=now)
+                self.note_route_repaired(pkt.dst)
                 self.send_data(pkt, salvage)
             else:
                 self.drop_data(pkt, DropReason.LINK_FAILURE)

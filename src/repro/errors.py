@@ -34,3 +34,17 @@ class RoutingError(ReproError):
 
 class PacketError(ReproError):
     """Raised for malformed packet construction or field access."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a campaign work item ultimately fails to execute.
+
+    Carries the terminal :class:`~repro.experiments.backend.CellFailure`
+    (timeout, worker crash, or repeated exception) after every retry was
+    exhausted — in strict mode; fault-tolerant campaigns collect the
+    failure instead of raising.
+    """
+
+    def __init__(self, message: str, failure: object = None) -> None:
+        super().__init__(message)
+        self.failure = failure

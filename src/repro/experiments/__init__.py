@@ -17,8 +17,11 @@ from repro.experiments.campaign import (
     save_results,
 )
 from repro.experiments.backend import (
+    CellFailure,
+    CellOutcome,
     ExecutionBackend,
     ProcessPoolBackend,
+    RetryPolicy,
     SerialBackend,
     resolve_backend,
 )
@@ -40,8 +43,11 @@ __all__ = [
     "load_results",
     "run_campaign",
     "save_results",
+    "CellFailure",
+    "CellOutcome",
     "ExecutionBackend",
     "ProcessPoolBackend",
+    "RetryPolicy",
     "SerialBackend",
     "resolve_backend",
 ]

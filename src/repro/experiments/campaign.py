@@ -21,7 +21,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import AggregateMetrics
 from repro.errors import ConfigurationError
-from repro.experiments.backend import ExecutionBackend, resolve_backend
+from repro.experiments.backend import (
+    ExecutionBackend,
+    RetryPolicy,
+    resolve_backend,
+)
 from repro.experiments.scenario import ScenarioConfig
 from repro.experiments.sweep import run_trials
 
@@ -74,6 +78,14 @@ class CampaignResult:
     trials: int
     #: keys are "protocol/speed/rate" strings (JSON-friendly).
     cells: Dict[str, AggregateMetrics] = field(default_factory=dict)
+    #: Cells that failed after all retries: key -> structured failure
+    #: record ({"kind", "error", "attempts"}).  Empty on a clean run.
+    failures: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        """True when every cell produced a result."""
+        return not self.failures
 
     @staticmethod
     def key(protocol: str, speed_kmh: float, rate_pps: float) -> str:
@@ -106,6 +118,7 @@ def run_campaign(
     progress: Optional[Callable[[str], None]] = None,
     backend: Optional[ExecutionBackend] = None,
     jobs: Optional[int] = None,
+    policy: Optional[RetryPolicy] = None,
 ) -> CampaignResult:
     """Execute every cell of the grid (trial-averaged).
 
@@ -118,11 +131,29 @@ def run_campaign(
         jobs: shorthand for a process-pool backend with ``jobs`` workers
             (``None``/1 runs serially).  Results are byte-identical to the
             serial run regardless of worker count.
+        policy: retry/timeout policy for the constructed backend (mutually
+            exclusive with ``backend``; build the backend with its policy
+            instead).  With retries enabled the campaign degrades
+            gracefully: cells that fail every attempt land in
+            ``CampaignResult.failures`` instead of aborting the run.
     """
     result = CampaignResult(spec.name, spec.base.duration_s, spec.trials)
     items = [(key, config, spec.trials) for key, config in spec.cell_configs()]
-    for key, agg in resolve_backend(backend, jobs).map(_run_cell, items):
-        result.cells[key] = agg
+    resolved = resolve_backend(backend, jobs, policy)
+    # Graceful degradation is opt-in: only a policy that actually enables
+    # resilience (retries or a timeout) turns failures into report entries;
+    # the bare default keeps the historical fail-fast contract.
+    pol = getattr(resolved, "policy", None)
+    tolerant = pol is not None and (pol.max_retries > 0 or pol.cell_timeout_s is not None)
+    for outcome in resolved.map_outcomes(_run_cell, items):
+        key = items[outcome.index][0]
+        if outcome.failure is not None:
+            if not tolerant:
+                raise outcome.failure.to_exception()
+            result.failures[key] = outcome.failure.as_dict()
+        else:
+            _, agg = outcome.value
+            result.cells[key] = agg
         if progress is not None:
             progress(key)
     return result
@@ -136,6 +167,10 @@ def save_results(result: CampaignResult, path: str) -> None:
         "trials": result.trials,
         "cells": {key: asdict(agg) for key, agg in result.cells.items()},
     }
+    if result.failures:
+        # Only written when present, so clean-run JSON is byte-identical
+        # to files produced before the failure report existed.
+        payload["failures"] = result.failures
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=1)
 
@@ -152,4 +187,5 @@ def load_results(path: str) -> CampaignResult:
         duration_s=payload["duration_s"],
         trials=payload["trials"],
         cells=cells,
+        failures=payload.get("failures", {}),
     )

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.channel.model import CHANNEL_BACKENDS, ChannelConfig
 from repro.errors import ConfigurationError
+from repro.faults import FaultConfig, FaultInjector
 from repro.geometry.field import Field
 from repro.mac.csma import MAC_BACKENDS, MacConfig
 from repro.metrics.collector import MetricsCollector
@@ -96,6 +97,10 @@ class ScenarioConfig:
     #: copies and suppressing relays whose area neighbours already covered
     #: (see docs/ARCHITECTURE.md, "The reception pipeline").
     rreq_aggregation_s: float = 0.0
+    #: Deterministic fault injection (node churn, blackouts, energy death);
+    #: None (the default) runs fault-free and is byte-identical to a build
+    #: that predates the fault subsystem.  See repro.faults.
+    faults: Optional[FaultConfig] = None
     #: Attach a structured tracer (repro.trace) to every protocol instance.
     enable_trace: bool = False
 
@@ -137,6 +142,12 @@ class ScenarioConfig:
                 f"unknown mobility backend {self.mobility_backend!r}; "
                 f"known: {', '.join(MOBILITY_BACKENDS)}"
             )
+        if self.faults is not None:
+            if not isinstance(self.faults, FaultConfig):
+                raise ConfigurationError(
+                    f"faults must be a FaultConfig, got {type(self.faults).__name__}"
+                )
+            self.faults.validate_horizon(self.duration_s)
         protocol_class(self.protocol)  # validate the name early
 
     @property
@@ -162,13 +173,26 @@ class Scenario:
     sources: List[PoissonSource]
     #: Structured event log (None unless config.enable_trace).
     tracer: Optional["Tracer"] = None
+    #: Armed fault timeline (None unless config.faults is set).
+    fault_injector: Optional[FaultInjector] = None
 
-    def run(self) -> MetricsReport:
-        """Execute the scenario and return the metrics report."""
+    def start(self) -> None:
+        """Arm faults, protocols and traffic (idempotent setup step).
+
+        Split out of :meth:`run` so stepped execution (tests driving
+        ``sim.step()`` themselves) arms the exact same event population —
+        including the fault schedule — as a plain ``run()``.
+        """
+        if self.fault_injector is not None:
+            self.fault_injector.start()
         for proto in self.protocols:
             proto.start()
         for source in self.sources:
             source.start()
+
+    def run(self) -> MetricsReport:
+        """Execute the scenario and return the metrics report."""
+        self.start()
         self.sim.run(until=self.config.duration_s)
         for proto in self.protocols:
             proto.stop()
@@ -249,6 +273,11 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
         )
         for flow in flows
     ]
+    fault_injector = None
+    if config.faults is not None and config.faults.enabled():
+        fault_injector = FaultInjector.from_config(
+            sim, network, metrics, config.faults, config.seed, config.duration_s
+        )
     return Scenario(
         config=config,
         sim=sim,
@@ -258,6 +287,7 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
         flows=flows,
         sources=sources,
         tracer=tracer,
+        fault_injector=fault_injector,
     )
 
 

@@ -1,0 +1,28 @@
+"""Deterministic fault injection: node churn, blackouts, energy death.
+
+See docs/ARCHITECTURE.md ("Fault injection & resilience") for the design:
+fault timelines compile to a pure, seed-derived event stream
+(:class:`FaultSchedule`), apply through ``Network.fail_node`` /
+``recover_node``, and are observed by routing protocols only through the
+normal failure signals (missing ACKs, timeouts, ``on_link_failure``).
+"""
+
+from repro.faults.config import (
+    BlackoutConfig,
+    EnergyFaultConfig,
+    FaultConfig,
+    NodeChurnConfig,
+    NodeOutage,
+)
+from repro.faults.schedule import FaultEvent, FaultInjector, FaultSchedule
+
+__all__ = [
+    "BlackoutConfig",
+    "EnergyFaultConfig",
+    "FaultConfig",
+    "NodeChurnConfig",
+    "NodeOutage",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+]

@@ -1,0 +1,215 @@
+"""Fault-model configuration (validated frozen dataclasses).
+
+Four fault classes compose into one :class:`FaultConfig`:
+
+* **Node churn** (:class:`NodeChurnConfig`) — every node alternates
+  up/down through an exponential renewal process: while up it crashes
+  with hazard ``crash_rate_per_s``; once down it recovers after an
+  exponential downtime with mean ``mean_downtime_s``.  The whole renewal
+  timeline is drawn from counter-based splitmix64 substreams keyed per
+  node, so the compiled fault schedule depends only on
+  ``(seed, config, n_nodes, horizon)`` — never on execution backend or
+  event interleaving.
+* **Scripted outages** (:class:`NodeOutage`) — explicit per-node
+  crash/recover instants, for deterministic tests and targeted what-if
+  scenarios.
+* **Regional blackouts** (:class:`BlackoutConfig`) — every node inside a
+  disc at the blackout start instant goes down until the window closes
+  (a jammed area, a power cut across a city block).
+* **Energy depletion** (:class:`EnergyFaultConfig`) — nodes carry a
+  finite battery priced by :class:`~repro.metrics.energy.EnergyModel`;
+  a periodic monitor compares each node's per-node radio bits against
+  its (optionally jittered) budget and shuts depleted nodes down
+  permanently.
+
+Validation matches the :class:`~repro.mac.csma.MacConfig` style: every
+field is range-checked in ``__post_init__`` and violations raise
+:class:`~repro.errors.ConfigurationError`.  Constraints that need the
+simulation horizon (blackout/churn windows inside ``duration_s``) are
+checked by :meth:`FaultConfig.validate_horizon`, called from
+``ScenarioConfig.__post_init__``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.metrics.energy import EnergyModel
+
+__all__ = [
+    "NodeChurnConfig",
+    "NodeOutage",
+    "BlackoutConfig",
+    "EnergyFaultConfig",
+    "FaultConfig",
+]
+
+
+@dataclass(frozen=True)
+class NodeChurnConfig:
+    """Per-node crash/recover renewal process."""
+
+    #: Crash hazard while up (expected crashes per node per second).
+    crash_rate_per_s: float
+    #: Mean of the exponential downtime after a crash.
+    mean_downtime_s: float = 5.0
+    #: Churn only runs inside [start_s, end_s); ``end_s=None`` means the
+    #: simulation horizon.
+    start_s: float = 0.0
+    end_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.crash_rate_per_s <= 0:
+            raise ConfigurationError(
+                f"crash_rate_per_s must be positive, got {self.crash_rate_per_s}"
+            )
+        if self.mean_downtime_s <= 0:
+            raise ConfigurationError(
+                f"mean_downtime_s must be positive, got {self.mean_downtime_s}"
+            )
+        if self.start_s < 0:
+            raise ConfigurationError(f"start_s must be >= 0, got {self.start_s}")
+        if self.end_s is not None and self.end_s <= self.start_s:
+            raise ConfigurationError(
+                f"end_s must exceed start_s, got end_s={self.end_s} start_s={self.start_s}"
+            )
+
+
+@dataclass(frozen=True)
+class NodeOutage:
+    """One scripted node outage: crash at a fixed time, optionally recover."""
+
+    node_id: int
+    crash_s: float
+    #: ``None`` keeps the node down for the rest of the run.
+    recover_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ConfigurationError(f"node_id must be >= 0, got {self.node_id}")
+        if self.crash_s < 0:
+            raise ConfigurationError(f"crash_s must be >= 0, got {self.crash_s}")
+        if self.recover_s is not None and self.recover_s <= self.crash_s:
+            raise ConfigurationError(
+                f"recover_s must come after crash_s, got recover_s={self.recover_s} "
+                f"crash_s={self.crash_s}"
+            )
+
+
+@dataclass(frozen=True)
+class BlackoutConfig:
+    """A regional link blackout: a disc of nodes goes dark for a window.
+
+    Membership is resolved at the start instant from the topology index
+    (active nodes within ``radius_m`` of the centre); exactly that set
+    recovers when the window closes.
+    """
+
+    start_s: float
+    duration_s: float
+    center_x_m: float
+    center_y_m: float
+    radius_m: float
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ConfigurationError(f"blackout start_s must be >= 0, got {self.start_s}")
+        if self.duration_s <= 0:
+            raise ConfigurationError(
+                f"blackout duration_s must be positive, got {self.duration_s}"
+            )
+        if self.radius_m <= 0:
+            raise ConfigurationError(f"blackout radius_m must be positive, got {self.radius_m}")
+
+    @property
+    def end_s(self) -> float:
+        """The instant the blackout lifts."""
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class EnergyFaultConfig:
+    """Energy-depletion shutdown driven by the per-node radio ledger."""
+
+    #: Per-node energy budget in joules.
+    budget_j: float
+    #: Budget spread: node ``i`` gets ``budget_j * (1 + jitter*(2u_i - 1))``
+    #: with ``u_i`` drawn from a counter substream (0 = identical budgets).
+    budget_jitter: float = 0.0
+    #: Period of the depletion monitor.
+    check_interval_s: float = 1.0
+    #: Radio cost model pricing the per-node tx/rx bit counters.
+    model: EnergyModel = field(default_factory=EnergyModel)
+
+    def __post_init__(self) -> None:
+        if self.budget_j <= 0:
+            raise ConfigurationError(f"budget_j must be positive, got {self.budget_j}")
+        if not (0.0 <= self.budget_jitter < 1.0):
+            raise ConfigurationError(
+                f"budget_jitter must lie in [0, 1), got {self.budget_jitter}"
+            )
+        if self.check_interval_s <= 0:
+            raise ConfigurationError(
+                f"check_interval_s must be positive, got {self.check_interval_s}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """The complete fault model of one scenario (all parts optional)."""
+
+    churn: Optional[NodeChurnConfig] = None
+    outages: Tuple[NodeOutage, ...] = ()
+    blackouts: Tuple[BlackoutConfig, ...] = ()
+    energy: Optional[EnergyFaultConfig] = None
+
+    def __post_init__(self) -> None:
+        # Accept lists for ergonomics but store canonical tuples so the
+        # config stays hashable/picklable like every other frozen config.
+        object.__setattr__(self, "outages", tuple(self.outages))
+        object.__setattr__(self, "blackouts", tuple(self.blackouts))
+        for outage in self.outages:
+            if not isinstance(outage, NodeOutage):
+                raise ConfigurationError(f"outages must hold NodeOutage, got {outage!r}")
+        for blackout in self.blackouts:
+            if not isinstance(blackout, BlackoutConfig):
+                raise ConfigurationError(
+                    f"blackouts must hold BlackoutConfig, got {blackout!r}"
+                )
+
+    def enabled(self) -> bool:
+        """True when any fault class is configured."""
+        return (
+            self.churn is not None
+            or bool(self.outages)
+            or bool(self.blackouts)
+            or self.energy is not None
+        )
+
+    def validate_horizon(self, duration_s: float) -> None:
+        """Reject windows that fall outside the simulation horizon."""
+        if self.churn is not None:
+            if self.churn.start_s >= duration_s:
+                raise ConfigurationError(
+                    f"churn start_s={self.churn.start_s} is outside the "
+                    f"{duration_s} s simulation horizon"
+                )
+            if self.churn.end_s is not None and self.churn.end_s > duration_s:
+                raise ConfigurationError(
+                    f"churn end_s={self.churn.end_s} exceeds the "
+                    f"{duration_s} s simulation horizon"
+                )
+        for outage in self.outages:
+            if outage.crash_s >= duration_s:
+                raise ConfigurationError(
+                    f"outage crash_s={outage.crash_s} is outside the "
+                    f"{duration_s} s simulation horizon"
+                )
+        for blackout in self.blackouts:
+            if blackout.start_s >= duration_s or blackout.end_s > duration_s:
+                raise ConfigurationError(
+                    f"blackout window [{blackout.start_s}, {blackout.end_s}) falls "
+                    f"outside the {duration_s} s simulation horizon"
+                )

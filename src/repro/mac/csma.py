@@ -171,6 +171,7 @@ class CsmaMac:
             config.queue_capacity, max_residence=config.queue_residence_s
         )
         self._busy = False  # a send cycle (defer/backoff/tx) is in progress
+        self._enabled = True  # radio powered (fault injection flips this)
         self.sent = 0
         self.dropped = 0
 
@@ -189,6 +190,29 @@ class CsmaMac:
         """Packets waiting for the channel (excluding any in flight)."""
         return len(self._queue)
 
+    @property
+    def enabled(self) -> bool:
+        """True while the radio is powered (see :meth:`set_enabled`)."""
+        return self._enabled
+
+    def set_enabled(self, enabled: bool) -> None:
+        """Power the transmitter on/off (fault injection seam).
+
+        Disabling flushes the queue (counted) and rejects new sends; any
+        defer/backoff event already scheduled resolves through the
+        phantom-attempt path when it fires against the empty queue.  A
+        transmission already on the air completes normally — the fault
+        lands between frames, not mid-symbol.
+        """
+        if self._enabled == enabled:
+            return
+        self._enabled = enabled
+        if not enabled:
+            stale = self._queue.flush()
+            if stale:
+                self.dropped += len(stale)
+                self._metrics.record_event("mac_node_down_flush", len(stale))
+
     def send(self, packet: Packet) -> bool:
         """Enqueue ``packet`` for broadcast.  Returns False if queue full.
 
@@ -196,6 +220,10 @@ class CsmaMac:
         diagnostics) — routing packets are fire-and-forget, exactly the
         situation of a saturated common channel in the paper.
         """
+        if not self._enabled:
+            self.dropped += 1
+            self._metrics.record_event("mac_node_down_drop")
+            return False
         if not self._queue.push(packet, self._sim.now):
             self.dropped += 1
             self._metrics.record_event("mac_queue_drop")
@@ -271,6 +299,7 @@ class CsmaMac:
         tx = self._medium.begin(self._node_id, now, now + duration, packet)
         self._metrics.record_control_tx(packet.kind, packet.size_bits, now=now)
         self._metrics.record_radio(tx_bits=packet.size_bits, now=now)
+        self._metrics.record_node_radio(self._node_id, tx_bits=packet.size_bits)
         self.sent += 1
         self._sim.schedule(duration, self._complete, tx)
 
@@ -287,6 +316,9 @@ class CsmaMac:
         now = self._sim.now
         if receivers:
             self._metrics.record_radio(rx_bits=tx.packet.size_bits * len(receivers), now=now)
+            if self._metrics.node_radio_rx is not None:
+                for r in receivers:
+                    self._metrics.record_node_radio(r, rx_bits=tx.packet.size_bits)
         if lost:
             self._medium.record_losses(len(lost))
             self._metrics.record_event("mac_collision", len(lost))

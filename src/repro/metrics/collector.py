@@ -25,6 +25,7 @@ class DropReason(enum.Enum):
     LINK_FAILURE = "link_failure"
     HOP_LIMIT = "hop_limit"
     MAC_DROP = "mac_drop"
+    NODE_DOWN = "node_down"
 
 
 class MetricsCollector:
@@ -77,6 +78,19 @@ class MetricsCollector:
         # Radio activity (energy accounting, see repro.metrics.energy).
         self.radio_tx_bits = 0
         self.radio_rx_bits = 0
+        #: Opt-in per-node radio ledger (fault injection's energy monitor).
+        #: None until enable_node_radio() — the aggregate path above stays
+        #: the only work on every default run.  Never warmup-gated: battery
+        #: drain is physical, not a measurement-window artefact.
+        self.node_radio_tx: Optional[Counter] = None
+        self.node_radio_rx: Optional[Counter] = None
+
+        # Resilience bookkeeping (route-repair latency under faults).
+        self.route_breaks = 0
+        self.route_repairs = 0
+        self.repair_latency_sum_s = 0.0
+        self.dead_next_hop_losses = 0
+        self._pending_repairs: Dict[tuple, float] = {}
 
         # Figure 6 time series.
         n_bins = int(self.duration / self.throughput_bin_s + 0.5)
@@ -151,6 +165,48 @@ class MetricsCollector:
             return
         self.radio_tx_bits += tx_bits
         self.radio_rx_bits += rx_bits
+
+    def enable_node_radio(self) -> None:
+        """Switch on the per-node radio ledger (idempotent)."""
+        if self.node_radio_tx is None:
+            self.node_radio_tx = Counter()
+            self.node_radio_rx = Counter()
+
+    def record_node_radio(self, node: int, tx_bits: int = 0, rx_bits: int = 0) -> None:
+        """Per-node radio activity; no-op unless the ledger is enabled."""
+        if self.node_radio_tx is None:
+            return
+        if tx_bits:
+            self.node_radio_tx[node] += tx_bits
+        if rx_bits:
+            self.node_radio_rx[node] += rx_bits
+
+    # ------------------------------------------------------------------
+    # Resilience (route breaks and repairs)
+    # ------------------------------------------------------------------
+    def record_route_broken(self, node: int, dest: int, now: float) -> None:
+        """``node`` lost its route toward ``dest`` (next-hop invalidated).
+
+        First mark wins: re-breaking an already-pending (node, dest) pair
+        keeps the original break time, so repair latency spans the whole
+        outage rather than the latest symptom.
+        """
+        if now < self.warmup_s:
+            return
+        self.route_breaks += 1
+        self._pending_repairs.setdefault((node, dest), now)
+
+    def record_route_repaired(self, node: int, dest: int, now: float) -> None:
+        """``node`` regained a usable route toward ``dest``."""
+        broken_at = self._pending_repairs.pop((node, dest), None)
+        if broken_at is None:
+            return
+        self.route_repairs += 1
+        self.repair_latency_sum_s += now - broken_at
+
+    def record_dead_next_hop(self, count: int = 1) -> None:
+        """Packets lost because their next hop was a crashed node."""
+        self.dead_next_hop_losses += count
 
     # ------------------------------------------------------------------
     # Diagnostics

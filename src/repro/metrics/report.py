@@ -45,6 +45,13 @@ class MetricsReport:
     radio_rx_bits: int = 0
     energy_j: float = 0.0
     energy_mj_per_delivered_kbit: float = 0.0
+    #: Resilience: next-hop invalidations, how many were repaired (a fresh
+    #: usable route appeared for the same (node, dest) pair), the mean
+    #: break-to-repair latency, and packets lost to crashed next hops.
+    route_breaks: int = 0
+    route_repairs: int = 0
+    avg_repair_latency_ms: float = 0.0
+    dead_next_hop_losses: int = 0
 
     @classmethod
     def from_collector(cls, c) -> "MetricsReport":
@@ -97,6 +104,14 @@ class MetricsReport:
             radio_rx_bits=c.radio_rx_bits,
             energy_j=energy_j,
             energy_mj_per_delivered_kbit=energy_per_kbit,
+            route_breaks=c.route_breaks,
+            route_repairs=c.route_repairs,
+            avg_repair_latency_ms=(
+                c.repair_latency_sum_s / c.route_repairs * 1000.0
+                if c.route_repairs
+                else 0.0
+            ),
+            dead_next_hop_losses=c.dead_next_hop_losses,
         )
 
     @property

@@ -78,6 +78,7 @@ class DataLink:
         deliver: DeliverFn,
         on_link_failure: LinkFailureFn,
         wheel: Optional[TimerWheel] = None,
+        alive: Optional[Callable[[int], bool]] = None,
     ) -> None:
         self._node_id = node_id
         self._sim = sim
@@ -86,12 +87,21 @@ class DataLink:
         self._config = config
         self._deliver = deliver
         self._on_link_failure = on_link_failure
+        # Liveness oracle for fault injection (Network.is_alive): a dead
+        # peer never ACKs and a dead sender abandons its own frames.  None
+        # (the default, and every test harness without faults) means
+        # everyone is alive — zero overhead on the reference path.
+        self._alive = alive
         # ACK/retry timers: coalesced through the shared wheel when one is
         # attached (batched backend), straight heap entries otherwise.
         # Both callables share the (delay, fn, *args) signature.
         self._schedule = sim.schedule if wheel is None else wheel.arm
         self._queues: Dict[int, DropTailQueue[DataPacket]] = {}
         self._busy: Dict[int, bool] = {}
+        # Bumped by shutdown(): ACK/retry events armed before a crash
+        # carry their epoch and no-op (dropping their packet) if they fire
+        # into a later one, so a crash cleanly abandons all in-flight ARQ.
+        self._epoch = 0
         self.transmissions = 0
 
     # ------------------------------------------------------------------
@@ -133,6 +143,21 @@ class DataLink:
         queue = self._queues.get(next_hop)
         return queue.flush() if queue is not None else []
 
+    def shutdown(self) -> None:
+        """Crash this node's data plane (fault injection seam).
+
+        Every queued packet is dropped (NODE_DOWN), every link goes idle,
+        and the epoch bump invalidates all in-flight ACK/retry events —
+        when they fire they drop their packet instead of completing, so a
+        crashed sender abandons its frames exactly once.  Recovery needs
+        no symmetric call: the link restarts lazily on the next send().
+        """
+        self._epoch += 1
+        for queue in self._queues.values():
+            for packet in queue.flush():
+                self._metrics.record_dropped(packet, DropReason.NODE_DOWN)
+        self._busy.clear()
+
     # ------------------------------------------------------------------
     def _queue_for(self, next_hop: int) -> DropTailQueue:
         queue = self._queues.get(next_hop)
@@ -161,9 +186,16 @@ class DataLink:
         if packet is None:
             return
         self._busy[next_hop] = True
-        self._attempt(packet, next_hop, 0)
+        self._attempt(packet, next_hop, 0, self._epoch)
 
-    def _attempt(self, packet: DataPacket, next_hop: int, retries: int) -> None:
+    def _attempt(
+        self, packet: DataPacket, next_hop: int, retries: int, epoch: int
+    ) -> None:
+        if epoch != self._epoch:
+            # Retry armed before a crash fired into a later epoch: the
+            # packet was in flight (not queued), so this is its only drop.
+            self._metrics.record_dropped(packet, DropReason.NODE_DOWN)
+            return
         now = self._sim.now
         # The CSI class sampled at transmission start sets the rate for the
         # whole packet (ABICM holds a coding/modulation mode per packet).
@@ -171,12 +203,22 @@ class DataLink:
         airtime = packet.size_bits / rate
         ack_time = self._config.ack_bytes * 8 / rate
         self._metrics.record_radio(tx_bits=packet.size_bits, now=now)
-        self._schedule(airtime + ack_time, self._complete, packet, next_hop, rate, retries)
+        self._metrics.record_node_radio(self._node_id, tx_bits=packet.size_bits)
+        self._schedule(
+            airtime + ack_time, self._complete, packet, next_hop, rate, retries, epoch
+        )
 
-    def _complete(self, packet: DataPacket, next_hop: int, rate: float, retries: int) -> None:
+    def _complete(
+        self, packet: DataPacket, next_hop: int, rate: float, retries: int, epoch: int
+    ) -> None:
+        if epoch != self._epoch:
+            # Sender crashed while this frame was on the air: abandon it.
+            self._metrics.record_dropped(packet, DropReason.NODE_DOWN)
+            return
         now = self._sim.now
         self.transmissions += 1
-        if self._channel.in_range(self._node_id, next_hop, now):
+        peer_alive = self._alive is None or self._alive(next_hop)
+        if peer_alive and self._channel.in_range(self._node_id, next_hop, now):
             # ACK received on the reverse PN code: receiver spends rx energy
             # on the data and tx energy on the ACK; the sender receives it.
             ack_bits = self._config.ack_bytes * 8
@@ -184,6 +226,10 @@ class DataLink:
             self._metrics.record_radio(
                 tx_bits=ack_bits, rx_bits=packet.size_bits + ack_bits, now=now
             )
+            self._metrics.record_node_radio(
+                next_hop, tx_bits=ack_bits, rx_bits=packet.size_bits
+            )
+            self._metrics.record_node_radio(self._node_id, rx_bits=ack_bits)
             packet.record_hop(rate)
             self._busy[next_hop] = False
             self._deliver(next_hop, packet, self._node_id)
@@ -192,11 +238,20 @@ class DataLink:
         if retries < self._config.max_retries:
             self._metrics.record_event("datalink_retry")
             self._schedule(
-                self._config.retry_delay_s, self._attempt, packet, next_hop, retries + 1
+                self._config.retry_delay_s,
+                self._attempt,
+                packet,
+                next_hop,
+                retries + 1,
+                epoch,
             )
             return
-        # Link broken: hand everything to the routing protocol.
+        # Link broken: hand everything to the routing protocol.  A silent
+        # peer is indistinguishable from an out-of-range one on the air —
+        # the dead-next-hop tally below is bookkeeping, not protocol input.
         self._metrics.record_event("link_break_detected")
+        if not peer_alive:
+            self._metrics.record_dead_next_hop(1 + self.queue_length(next_hop))
         self._busy[next_hop] = False
         remaining = self.flush(next_hop)
         self._on_link_failure(next_hop, packet, remaining)

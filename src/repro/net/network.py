@@ -128,6 +128,11 @@ class Network:
             self.topology.set_bulk_source(self.mobility_bank.coords_at)
         self._datalink_config = datalink_config or DataLinkConfig()
         self._nodes: Dict[int, Node] = {}
+        # Fault state: node_id -> set of down-reasons ("churn", "energy",
+        # ("blackout", idx), ...).  A node is down while its set is
+        # non-empty, so overlapping fault causes compose and a node only
+        # comes back when its *last* cause clears.  Empty sets are removed.
+        self._down: Dict[int, set] = {}
         # Precomputed control-plane handler table (node_id -> bound
         # receive_control); built lazily on first batch dispatch so
         # handlers stubbed after construction are captured.
@@ -170,6 +175,7 @@ class Network:
             # and tests that stub the handler are always reached.
             on_link_failure=lambda nh, pkt, rest, n=node: n.on_link_failure(nh, pkt, rest),
             wheel=self.ack_wheel,
+            alive=self.is_alive,
         )
         self._nodes[nid] = node
         self.topology.add(nid, node.position)
@@ -218,6 +224,57 @@ class Network:
     neighbor_map = adjacency
 
     # ------------------------------------------------------------------
+    # Fault injection (node up/down)
+    # ------------------------------------------------------------------
+    def is_alive(self, node_id: int) -> bool:
+        """False while ``node_id`` is down for any reason."""
+        return node_id not in self._down
+
+    def fail_node(self, node_id: int, reason: object = "crash") -> bool:
+        """Take ``node_id`` down ("radio off").
+
+        The MAC stops transmitting, the data link drops its queues and
+        abandons in-flight ARQ, the topology index hides the node from
+        snapshots (so it leaves every neighbour set and delivery set), and
+        the dispatch table stops routing receptions to it.  Routing state
+        *on* the node is untouched — it decays through the protocols' own
+        timeouts, never through oracle knowledge.
+
+        Returns True if the node was up and is now down; False if it was
+        already down (the extra ``reason`` is still recorded so recovery
+        waits for every cause to clear).
+        """
+        node = self.node(node_id)
+        reasons = self._down.get(node_id)
+        if reasons is not None:
+            reasons.add(reason)
+            return False
+        self._down[node_id] = {reason}
+        node.mac.set_enabled(False)
+        node.datalink.shutdown()
+        self.topology.set_active(node_id, False)
+        self._control_handlers = None
+        return True
+
+    def recover_node(self, node_id: int, reason: object = "crash") -> bool:
+        """Clear one down-reason; the node restarts when the last clears.
+
+        Returns True if this call actually brought the node back up.
+        """
+        self.node(node_id)
+        reasons = self._down.get(node_id)
+        if reasons is None:
+            return False
+        reasons.discard(reason)
+        if reasons:
+            return False
+        del self._down[node_id]
+        self._nodes[node_id].mac.set_enabled(True)
+        self.topology.set_active(node_id, True)
+        self._control_handlers = None
+        return True
+
+    # ------------------------------------------------------------------
     # Dispatch (MAC/data-link delivery callbacks)
     # ------------------------------------------------------------------
     def invalidate_dispatch(self) -> None:
@@ -230,7 +287,11 @@ class Network:
         self._control_handlers = None
 
     def _build_control_handlers(self) -> Dict[int, Callable]:
-        handlers = {nid: node.receive_control for nid, node in self._nodes.items()}
+        handlers = {
+            nid: node.receive_control
+            for nid, node in self._nodes.items()
+            if nid not in self._down
+        }
         self._control_handlers = handlers
         return handlers
 
@@ -250,7 +311,12 @@ class Network:
         lost = batch.lost
         for receiver in batch.receivers:
             if receiver not in lost:
-                handlers[receiver](packet, sender)
+                # .get: a receiver resolved into the batch can be absent
+                # from the table if it crashed (down nodes are excluded
+                # when the table rebuilds) — a dead radio decodes nothing.
+                handler = handlers.get(receiver)
+                if handler is not None:
+                    handler(packet, sender)
 
     def _deliver_data(self, receiver: int, packet: DataPacket, sender: int) -> None:
         self._nodes[receiver].receive_data(packet, sender)

@@ -136,7 +136,7 @@ class AbrProtocol(OnDemandProtocol):
         self, next_hop: int, packet: DataPacket, queued: List[DataPacket]
     ) -> None:
         now = self.sim.now
-        affected = self.table.invalidate_via(next_hop)
+        affected = self.invalidate_routes_via(next_hop)
         self._assoc.pop(next_hop, None)  # associativity is void once it left
         for pkt in [packet] + queued:
             self.pending.hold(pkt, now)  # data waits while the LQ runs

@@ -32,7 +32,7 @@ class AodvProtocol(OnDemandProtocol):
         self, next_hop: int, packet: DataPacket, queued: List[DataPacket]
     ) -> None:
         """Break: invalidate routes via the lost neighbour, REER upstream."""
-        affected = self.table.invalidate_via(next_hop)
+        affected = self.invalidate_routes_via(next_hop)
         for pkt in [packet] + queued:
             if pkt.src == self.node.id:
                 # Source-side break: hold the packets and rediscover.

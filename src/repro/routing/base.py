@@ -219,11 +219,29 @@ class RoutingProtocol:
     # ------------------------------------------------------------------
     # Link failures
     # ------------------------------------------------------------------
+    def invalidate_routes_via(self, next_hop: int) -> List[int]:
+        """Invalidate every route through ``next_hop``, marking each break.
+
+        All protocols funnel next-hop invalidation through here so the
+        collector can time break-to-repair latency: the matching repair is
+        recorded by :meth:`note_route_repaired` when a fresh usable route
+        to the same destination is installed at this node.
+        """
+        affected = self.table.invalidate_via(next_hop)
+        now = self.sim.now
+        for dest in affected:
+            self.metrics.record_route_broken(self.node.id, dest, now)
+        return affected
+
+    def note_route_repaired(self, dest: int) -> None:
+        """A usable route toward ``dest`` (re)appeared at this node."""
+        self.metrics.record_route_repaired(self.node.id, dest, self.sim.now)
+
     def handle_link_failure(
         self, next_hop: int, packet: DataPacket, queued: List[DataPacket]
     ) -> None:
         """The data link gave up on ``next_hop``.  Default: drop everything."""
-        self.table.invalidate_via(next_hop)
+        self.invalidate_routes_via(next_hop)
         for pkt in [packet] + queued:
             self.drop_data(pkt, DropReason.LINK_FAILURE)
 
@@ -249,6 +267,7 @@ class RoutingProtocol:
             self.metrics.record_event("reer_ignored_stale")
             return
         self.table.invalidate(reer.flow_dst)
+        self.metrics.record_route_broken(self.node.id, reer.flow_dst, self.sim.now)
         self.trace("reer_accepted", flow_src=reer.flow_src, flow_dst=reer.flow_dst)
         if self.node.id == reer.flow_src:
             self.on_route_broken(reer.flow_dst)
@@ -605,6 +624,7 @@ class OnDemandProtocol(RoutingProtocol):
         self.table.set_route(
             rrep.target, next_hop=from_id, now=now, hops=hops_here, csi_distance=csi_here
         )
+        self.note_route_repaired(rrep.target)
         if self.node.id == rrep.origin:
             self.metrics.record_event("route_established")
             self.trace(

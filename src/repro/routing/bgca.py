@@ -222,7 +222,7 @@ class BgcaProtocol(OnDemandProtocol):
         self, next_hop: int, packet: DataPacket, queued: List[DataPacket]
     ) -> None:
         now = self.sim.now
-        self.table.invalidate_via(next_hop)
+        self.invalidate_routes_via(next_hop)
         dests = set()
         for pkt in [packet] + queued:
             self.pending.hold(pkt, now)

@@ -163,10 +163,13 @@ class LinkStateProtocol(RoutingProtocol):
         self, next_hop: int, packet: DataPacket, queued: List[DataPacket]
     ) -> None:
         me = self.node.id
+        now = self.sim.now
         if next_hop in self.adj.get(me, {}):
             del self.adj[me][next_hop]
             self._next_hop_cache = None
             self._flood_change((next_hop, math.inf))
+        for dst in {pkt.dst for pkt in [packet] + queued}:
+            self.metrics.record_route_broken(me, dst, now)
         for pkt in [packet] + queued:
             if not self.config.retry_after_failure:
                 self.drop_data(pkt, DropReason.LINK_FAILURE)
@@ -175,4 +178,7 @@ class LinkStateProtocol(RoutingProtocol):
             if hop is None or hop == next_hop:
                 self.drop_data(pkt, DropReason.LINK_FAILURE)
             else:
+                # The recomputed tree already avoids the dead link — the
+                # proactive protocol's repair is this immediate reroute.
+                self.metrics.record_route_repaired(me, pkt.dst, now)
                 self.send_data(pkt, hop)

@@ -182,6 +182,10 @@ class TopologyIndex:
         self.grid = UniformGrid(field.width, field.height, cell_size)
         self.quantum = float(quantum)
         self._position_fns: Dict[int, PositionFn] = {}
+        # Inactive (failed) nodes: still tracked — point queries must keep
+        # answering for in-flight transmissions — but excluded from every
+        # set query (cell buckets, neighbour scans, neighbour maps).
+        self._inactive: set = set()
         self._snapshots: "OrderedDict[float, _Snapshot]" = OrderedDict()
         self._max_snapshots = max_snapshots
         self._latest: Optional[_Snapshot] = None  # fast path: most recent epoch
@@ -207,9 +211,37 @@ class TopologyIndex:
         """Forget a node.  Invalidates cached snapshots."""
         self._lookup(node_id)
         del self._position_fns[node_id]
+        self._inactive.discard(node_id)
         self._snapshots.clear()
         self._latest = None
         self._ids_dense = None
+
+    def set_active(self, node_id: int, active: bool) -> None:
+        """Mark a node active/inactive for set queries (fault injection).
+
+        An inactive node keeps its trajectory — :meth:`position`,
+        :meth:`distances_from` and friends still answer, so channel math
+        for transmissions already in flight stays well-defined — but it
+        vanishes from cell buckets: :meth:`neighbors`,
+        :meth:`nodes_within` and :meth:`neighbor_map` no longer see it.
+        Transitions are rare (fault events), so cached snapshots are
+        simply invalidated rather than diffed.
+        """
+        self._lookup(node_id)
+        if active:
+            if node_id not in self._inactive:
+                return
+            self._inactive.discard(node_id)
+        else:
+            if node_id in self._inactive:
+                return
+            self._inactive.add(node_id)
+        self._snapshots.clear()
+        self._latest = None
+
+    def is_active(self, node_id: int) -> bool:
+        """True unless ``node_id`` was deactivated via :meth:`set_active`."""
+        return node_id not in self._inactive
 
     def set_bulk_source(self, source: Callable[[float], np.ndarray]) -> None:
         """Wire in a bulk position source (e.g. ``MobilityBank.coords_at``).
@@ -474,8 +506,17 @@ class TopologyIndex:
         return out
 
     def neighbor_map(self, t: float, radius: Optional[float] = None) -> Dict[int, List[int]]:
-        """Full ``{id: neighbours}`` map at ``t`` in one pass over the grid."""
-        return {nid: self.neighbors(nid, t, radius) for nid in sorted(self._position_fns)}
+        """Full ``{id: neighbours}`` map at ``t`` in one pass over the grid.
+
+        Inactive (failed) nodes are omitted from the keys as well as from
+        every neighbour list — a dead node has no adjacency.
+        """
+        inactive = self._inactive
+        return {
+            nid: self.neighbors(nid, t, radius)
+            for nid in sorted(self._position_fns)
+            if nid not in inactive
+        }
 
     def coords_view(self, t: float) -> Tuple[np.ndarray, Optional[Dict[int, int]]]:
         """The epoch's positions as ``(coords, slot_of)`` arrays.
@@ -526,12 +567,15 @@ class TopologyIndex:
             base = None  # array snapshot: no dict cell map to diff against
         positions: Dict[int, Vec2] = {}
         cell_of_point = self.grid.cell_of
+        inactive = self._inactive
         if base is None:
             cells: Dict[Cell, List[int]] = {}
             cell_of: Dict[int, Cell] = {}
             for nid, fn in self._position_fns.items():
                 p = fn(ts)
                 positions[nid] = p
+                if nid in inactive:
+                    continue  # sampled (point queries) but never bucketed
                 c = cell_of_point(p)
                 cell_of[nid] = c
                 bucket = cells.get(c)
@@ -541,13 +585,17 @@ class TopologyIndex:
                     bucket.append(nid)
             return _Snapshot(ts, positions, cells, cell_of)
         # Copy-on-write from the most recent snapshot: bucket lists are
-        # shared until a node crosses into or out of them.
+        # shared until a node crosses into or out of them.  Activity
+        # changes clear the cache, so base and this build always agree on
+        # the inactive set: an inactive node is in neither bucket map.
         cells = dict(base.cells)
         cell_of = dict(base.cell_of)
         touched: set = set()
         for nid, fn in self._position_fns.items():
             p = fn(ts)
             positions[nid] = p
+            if nid in inactive:
+                continue
             c = cell_of_point(p)
             old = cell_of[nid]
             if c == old:
@@ -587,6 +635,11 @@ class TopologyIndex:
             grid.rows - 1,
         )
         codes = col * grid.rows + row
+        if self._inactive:
+            # Inactive nodes carry the -1 sentinel: never bucketed, and
+            # (since activity changes clear the snapshot cache) never part
+            # of an incremental diff either.
+            codes[list(self._inactive)] = -1
         base = next(reversed(self._snapshots.values())) if self._snapshots else None
         if (
             base is None
@@ -596,7 +649,10 @@ class TopologyIndex:
             cells: Dict[Cell, List[int]] = {}
             cl = col.tolist()
             rl = row.tolist()
+            codes_list = codes.tolist()
             for nid in range(n):
+                if codes_list[nid] < 0:
+                    continue
                 c = (cl[nid], rl[nid])
                 bucket = cells.get(c)
                 if bucket is None:

@@ -51,10 +51,9 @@ def _run_batched(config: ScenarioConfig) -> str:
 def _run_stepped(config: ScenarioConfig) -> str:
     """Reference execution: one Simulator.step() per event, no batching."""
     scenario = build_scenario(config)
-    for proto in scenario.protocols:
-        proto.start()
-    for source in scenario.sources:
-        source.start()
+    # Scenario.start() arms the same population run() does — including the
+    # fault schedule when config.faults is set.
+    scenario.start()
     sim = scenario.sim
     while True:
         t = sim.peek_time()
@@ -90,6 +89,20 @@ class TestPipelineDeterminism:
             protocol="aodv", mac_backend="batched", mac=MacConfig(slot_align_s=0.002)
         )
         assert _run_batched(config) == _run_stepped(config)
+
+    def test_churn_run_matches_stepped_reference(self, base):
+        """Fault events drain through the same (time, seq) queue as
+        traffic: run-vs-step equality must survive node churn on every
+        backend combination."""
+        from repro.faults import FaultConfig, NodeChurnConfig
+
+        config = base.with_(
+            protocol="aodv",
+            faults=FaultConfig(
+                churn=NodeChurnConfig(crash_rate_per_s=0.1, mean_downtime_s=1.0)
+            ),
+        )
+        assert _run_batched(config) == _run_stepped(config) == _run_batched(config)
 
     def test_aggregation_off_vs_on_differ(self, base):
         """Sanity check the knob is actually wired through build_scenario."""
